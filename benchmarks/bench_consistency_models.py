@@ -1,0 +1,54 @@
+"""Extension: the full consistency spectrum.
+
+The paper evaluates SC and RC and states that processor consistency and
+weak consistency "fall between sequential and release consistency models
+in terms of flexibility" (Section 4).  This bench measures that claim:
+expected ordering is SC slowest, WC/RC close (WC pays extra acquire
+fences), PC fastest of the buffered models (no fences at all).
+"""
+
+from repro.config import Consistency, dash_scaled_config
+from repro.experiments import build_app, format_table
+from repro.system import run_program
+
+MODELS = (Consistency.SC, Consistency.PC, Consistency.WC, Consistency.RC)
+
+
+def test_bench_consistency_spectrum(benchmark):
+    def sweep():
+        rows = []
+        for app in ("MP3D", "LU", "PTHOR"):
+            times = {}
+            for model in MODELS:
+                result = run_program(
+                    build_app(app, "bench"),
+                    dash_scaled_config(consistency=model),
+                )
+                times[model] = result.execution_time
+            rows.append(
+                (
+                    app,
+                    *(times[m] for m in MODELS),
+                    round(times[Consistency.SC] / times[Consistency.RC], 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            "Consistency spectrum (pclocks; Section 4's 'fall between' claim)",
+            ["app", "SC", "PC", "WC", "RC", "SC/RC"],
+            rows,
+        )
+    )
+    for app_row in rows:
+        _app, sc, pc, wc, rc, _ratio = app_row
+        # The buffered models never lose to SC.
+        assert max(pc, wc, rc) <= sc
+        # WC's extra acquire fences cost at least as much as RC's
+        # release-only fences.
+        assert wc >= rc * 0.98
+        # PC (no fences) is at least as fast as WC (fences everywhere).
+        assert pc <= wc * 1.02

@@ -1,0 +1,29 @@
+"""Figure 3: SC vs RC (normalized to cached SC).
+
+Shape targets: RC removes essentially all write-miss stall on every
+application; the gains order MP3D > PTHOR > LU (paper speedups 1.5,
+1.4, 1.1); synchronization time also shrinks.
+"""
+
+from repro.experiments import figure3, format_bars
+from repro.experiments.paper_data import FIGURE3_TOTALS
+
+
+def test_bench_figure3(runner, benchmark):
+    bars = benchmark.pedantic(figure3, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(
+        format_bars(
+            "Figure 3: effect of relaxing the consistency model",
+            bars,
+            paper_totals=FIGURE3_TOTALS,
+        )
+    )
+    speedups = {}
+    for app, (sc, rc) in bars.items():
+        assert rc.component("write") < 0.1 * max(sc.component("write"), 1e-9) + 1.0, (
+            f"{app}: RC left write stall {rc.component('write'):.1f}"
+        )
+        assert rc.total <= sc.total + 1e-6
+        speedups[app] = sc.total / rc.total
+    assert speedups["MP3D"] > speedups["LU"]

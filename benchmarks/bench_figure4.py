@@ -1,0 +1,36 @@
+"""Figure 4: software-controlled prefetching under SC and RC
+(normalized to SC without prefetching).
+
+Shape targets: prefetching removes a large share of read stall on MP3D
+and LU and less on PTHOR (lowest coverage); LU pays visible prefetch
+overhead; RC+prefetch beats SC+prefetch (both read and write latency
+hidden).
+"""
+
+from repro.experiments import figure4, format_bars
+from repro.experiments.paper_data import FIGURE4_TOTALS
+
+
+def test_bench_figure4(runner, benchmark):
+    bars = benchmark.pedantic(figure4, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(
+        format_bars(
+            "Figure 4: effect of prefetching",
+            bars,
+            paper_totals=FIGURE4_TOTALS,
+        )
+    )
+    for app, (sc, sc_pf, rc, rc_pf) in bars.items():
+        # Prefetching reduces read stall under both models.
+        assert sc_pf.component("read") < sc.component("read"), app
+        assert rc_pf.component("read") < rc.component("read"), app
+        # Combining prefetching with RC is the best of the four.
+        assert rc_pf.total <= min(sc.total, sc_pf.total, rc.total) + 1.0, app
+        # Prefetch overhead is visible.
+        assert sc_pf.component("pf_overhead") > 0, app
+    # MP3D (regular access pattern) gains more than PTHOR (irregular).
+    gain = lambda pair: pair[0].total / pair[1].total
+    assert gain((bars["MP3D"][0], bars["MP3D"][1])) > gain(
+        (bars["PTHOR"][0], bars["PTHOR"][1])
+    )

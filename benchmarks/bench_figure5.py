@@ -1,0 +1,39 @@
+"""Figure 5: multiple contexts under SC, 16- and 4-cycle switch
+overheads (normalized to one context).
+
+Shape targets: MP3D gains the most; LU with the 16-cycle switch gets
+*worse* as contexts are added (destructive cache interference — the
+paper's hit rates fall from 66/97% to 50/16%); a 4-cycle switch beats a
+16-cycle switch everywhere.
+"""
+
+from repro.experiments import figure5, format_bars
+from repro.experiments.paper_data import FIGURE5_TOTALS
+
+
+def test_bench_figure5(runner, benchmark):
+    bars = benchmark.pedantic(figure5, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(
+        format_bars(
+            "Figure 5: effect of multiple contexts (SC)",
+            bars,
+            paper_totals=FIGURE5_TOTALS,
+            multi_context=True,
+        )
+    )
+    for app, app_bars in bars.items():
+        by_label = {bar.label: bar for bar in app_bars}
+        # Lower switch overhead is never worse, per context count.
+        for contexts in (2, 4):
+            assert (
+                by_label[f"{contexts}ctx sw4"].total
+                <= by_label[f"{contexts}ctx sw16"].total + 1.0
+            ), app
+    by_label_mp3d = {bar.label: bar for bar in bars["MP3D"]}
+    by_label_lu = {bar.label: bar for bar in bars["LU"]}
+    # MP3D: contexts with a cheap switch pay off clearly.
+    assert by_label_mp3d["4ctx sw4"].total < by_label_mp3d["1ctx"].total
+    # LU: the expensive switch erodes (or erases) the gains relative to
+    # the cheap switch — the cache-interference effect.
+    assert by_label_lu["4ctx sw16"].total > by_label_lu["4ctx sw4"].total

@@ -1,0 +1,36 @@
+"""Figure 6: combining the schemes — {SC, RC, RC+prefetch} x {1, 2, 4}
+contexts with a 4-cycle switch (normalized to SC single-context).
+
+Shape targets: RC helps multiple contexts on every application
+(run lengths grow because writes stop being long-latency operations);
+prefetching plus 4 contexts is often *worse* than either alone, while
+prefetching plus 1-2 contexts helps.
+"""
+
+from repro.experiments import figure6, format_bars
+from repro.experiments.paper_data import FIGURE6_TOTALS
+
+
+def test_bench_figure6(runner, benchmark):
+    bars = benchmark.pedantic(figure6, args=(runner,), rounds=1, iterations=1)
+    print()
+    print(
+        format_bars(
+            "Figure 6: combining the schemes (switch latency 4)",
+            bars,
+            paper_totals=FIGURE6_TOTALS,
+            multi_context=True,
+        )
+    )
+    for app, app_bars in bars.items():
+        by_label = {bar.label: bar for bar in app_bars}
+        # RC improves on SC at every context count (a small tolerance
+        # absorbs scheduling noise at bench scale).
+        for contexts in (1, 2, 4):
+            assert (
+                by_label[f"RC {contexts}ctx"].total
+                <= by_label[f"SC {contexts}ctx"].total * 1.08 + 2.0
+            ), f"{app}: RC worse than SC at {contexts} contexts"
+        # The best combination beats the SC baseline substantially.
+        best = min(bar.total for bar in app_bars)
+        assert best < 0.9 * by_label["SC 1ctx"].total, app

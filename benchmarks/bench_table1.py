@@ -1,0 +1,20 @@
+"""Table 1: latency of memory operations on an unloaded machine."""
+
+from repro.experiments import format_table, table1
+
+
+def test_bench_table1(benchmark):
+    probes = benchmark.pedantic(table1, rounds=1, iterations=1)
+    rows = [
+        (p.operation, p.expected, p.measured, "ok" if p.matches else "MISMATCH")
+        for p in probes
+    ]
+    print()
+    print(
+        format_table(
+            "Table 1: memory operation latencies (pclocks, no contention)",
+            ["operation", "paper", "measured", ""],
+            rows,
+        )
+    )
+    assert all(p.matches for p in probes)

@@ -1,0 +1,50 @@
+"""Table 2: general statistics for the three benchmarks.
+
+Absolute counts scale with the data sets (ours are the paper's own
+scaled-down methodology taken further so the matrix runs quickly); the
+comparison points are the *ratios*: reads ~2x writes, MP3D uses no
+locks, PTHOR is lock-dominated, LU's lock count equals
+processes x (n-1).
+"""
+
+from repro.experiments import format_table, table2
+from repro.experiments.paper_data import TABLE2
+
+
+def test_bench_table2(runner, benchmark):
+    rows_data = benchmark.pedantic(table2, args=(runner,), rounds=1, iterations=1)
+    rows = []
+    for row in rows_data:
+        paper = TABLE2[row.app]
+        rows.append(
+            (
+                row.app,
+                f"{row.useful_kcycles:.0f}K",
+                f"{paper['useful_kcycles']}K",
+                f"{row.shared_reads_k:.0f}K",
+                f"{paper['shared_reads_k']}K",
+                f"{row.shared_writes_k:.0f}K",
+                f"{paper['shared_writes_k']}K",
+                row.locks,
+                paper["locks"],
+                row.barriers,
+                paper["barriers"],
+                f"{row.shared_kbytes:.0f}",
+                f"{paper['shared_kbytes']}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            "Table 2: general statistics (bench scale vs paper's full scale)",
+            ["app", "busy", "paper", "reads", "paper", "writes", "paper",
+             "locks", "paper", "barriers", "paper", "KB", "paper"],
+            rows,
+        )
+    )
+    by_app = {row.app: row for row in rows_data}
+    # Shape assertions.
+    assert by_app["MP3D"].locks == 0
+    assert by_app["PTHOR"].locks > by_app["LU"].locks
+    assert by_app["MP3D"].shared_reads_k > by_app["MP3D"].shared_writes_k
+    assert by_app["LU"].shared_reads_k > 1.5 * by_app["LU"].shared_writes_k

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+``bench`` workload scale (small data sets in the same cache-pressure
+regime) and prints it next to the paper's published values, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full reproduction report.  A session-scoped runner caches
+shared machine configurations across benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(scale="bench")

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Writing your own workload against the public API.
+
+The simulator runs any :class:`repro.Program`: a ``setup`` function that
+lays out shared memory and a ``thread`` factory that yields Tango-style
+operations (BUSY / READ / WRITE / PREFETCH / LOCK / UNLOCK / FLAG_* /
+BARRIER).  This example builds a bounded producer-consumer pipeline and
+compares it under SC and RC — the consumer's acquire latency shows the
+release-consistency effect on synchronization directly.
+
+Run with:  python examples/custom_workload.py
+"""
+
+from repro import Consistency, Program, dash_scaled_config, run_program
+from repro.tango import ops as O
+
+ITEMS = 64
+SLOTS = 8
+ITEM_BYTES = 64  # four cache lines per item
+
+
+def setup(allocator, num_processes):
+    return {
+        "buffer": allocator.alloc_round_robin("pipe.buffer", SLOTS * ITEM_BYTES),
+        "sync": allocator.alloc_round_robin(
+            "pipe.sync", 4 * allocator.page_bytes
+        ),
+        "produced": 0,
+        "consumed": 0,
+        "page": allocator.page_bytes,
+    }
+
+
+def slot_lines(world, slot):
+    base = world["buffer"].addr(slot * ITEM_BYTES)
+    return [base + offset for offset in range(0, ITEM_BYTES, 16)]
+
+
+def producer(world, env):
+    lock = world["sync"].addr(0)
+    barrier = world["sync"].addr(world["page"])
+    for item in range(ITEMS):
+        # Fill the item's lines (real work plus the reference stream).
+        for addr in slot_lines(world, item % SLOTS):
+            yield (O.WRITE, addr)
+        yield (O.BUSY, 40)
+        # Publish it: the unlock is a *release*, so under RC it waits
+        # for the buffered writes (and their invalidation acks) before
+        # becoming visible to the consumer.
+        yield (O.LOCK, lock)
+        world["produced"] += 1
+        yield (O.UNLOCK, lock)
+    yield (O.BARRIER, barrier, env.num_processes)
+
+
+def consumer(world, env):
+    lock = world["sync"].addr(0)
+    barrier = world["sync"].addr(world["page"])
+    consumed = 0
+    while consumed < ITEMS:
+        yield (O.LOCK, lock)
+        available = world["produced"] - consumed
+        yield (O.UNLOCK, lock)
+        if not available:
+            yield (O.BUSY, 30)  # poll again shortly
+            continue
+        for _ in range(available):
+            for addr in slot_lines(world, consumed % SLOTS):
+                yield (O.READ, addr)
+            yield (O.BUSY, 25)
+            consumed += 1
+            world["consumed"] += 1
+    yield (O.BARRIER, barrier, env.num_processes)
+
+
+def factory(world, env):
+    if env.process_id % 2 == 0:
+        return producer(world, env)
+    return consumer(world, env)
+
+
+def main() -> None:
+    program_sc = Program("pipeline", setup, factory)
+    program_rc = Program("pipeline", setup, factory)
+
+    sc = run_program(program_sc, dash_scaled_config(num_processors=2))
+    rc = run_program(
+        program_rc,
+        dash_scaled_config(num_processors=2, consistency=Consistency.RC),
+    )
+
+    assert sc.world["consumed"] == ITEMS and rc.world["consumed"] == ITEMS
+    print(f"items moved through the pipeline: {ITEMS}")
+    print(f"SC execution time : {sc.execution_time:,} pclocks")
+    print(f"RC execution time : {rc.execution_time:,} pclocks "
+          f"({sc.execution_time / rc.execution_time:.2f}x)")
+    print("\nUnder RC the producer never stalls on its item writes and the")
+    print("release (unlock) still orders them before the consumer's acquire,")
+    print("so the pipeline speeds up without giving up correctness.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Prefetch scheduling study on LU.
+
+Section 5.2 observes that prefetches must be issued far enough ahead to
+hide the miss latency, but that issuing them too aggressively wastes
+instruction overhead and risks the data being knocked out of the cache
+before use (self-interference).  This script sweeps the LU kernel's
+prefetch distance (in cache lines ahead of the element loop) and prints
+the resulting execution time, coverage, and overhead.
+
+Run with:  python examples/prefetch_tuning.py
+"""
+
+import dataclasses
+
+from repro import Bucket, Consistency, dash_scaled_config, run_program
+from repro.apps import LUConfig, lu_program
+
+
+def main() -> None:
+    machine = dash_scaled_config(consistency=Consistency.RC)
+    base_config = LUConfig(n=48)
+
+    baseline = run_program(lu_program(base_config), machine)
+    base_time = baseline.execution_time
+    base_misses = baseline.read_misses + baseline.write_misses
+    print(f"no prefetching: {base_time:,} pclocks, {base_misses:,} misses\n")
+
+    print(f"{'distance':>9}{'pclocks':>12}{'vs none':>9}{'misses':>9}"
+          f"{'covered':>9}{'pf sent':>9}{'overhead':>10}")
+    print("-" * 67)
+    for distance in (1, 2, 3, 4, 6, 8):
+        lu_config = dataclasses.replace(
+            base_config, prefetch_distance_lines=distance
+        )
+        result = run_program(lu_program(lu_config, prefetching=True), machine)
+        misses = result.read_misses + result.write_misses
+        coverage = max(0.0, 1.0 - misses / base_misses)
+        overhead = result.aggregate[Bucket.PREFETCH_OVERHEAD]
+        print(
+            f"{distance:>9}{result.execution_time:>12,}"
+            f"{100 * result.execution_time / base_time:>8.1f}%"
+            f"{misses:>9,}{coverage:>8.1%}"
+            f"{result.prefetch.sent_to_memory:>9,}"
+            f"{overhead:>10,}"
+        )
+
+    print(
+        "\nShort distances leave latency exposed; long distances add"
+        "\nredundant prefetches and interference — the paper's manual"
+        "\nannotation sits in the middle (coverage factor 89% for LU)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — reproduction of Gupta, Hennessy, Gharachorloo, Mowry & Weber,
+"Comparative Evaluation of Latency Reducing and Tolerating Techniques"
+(ISCA 1991).
+
+The package simulates a DASH-like 16-node cache-coherent multiprocessor
+and evaluates four latency techniques — coherent caches, relaxed memory
+consistency, software-controlled prefetching, and multiple-context
+processors — on ports of the paper's three benchmarks (MP3D, LU, PTHOR).
+
+Quickstart::
+
+    from repro import dash_scaled_config, run_program
+    from repro.apps import lu_program, LUConfig
+
+    config = dash_scaled_config()
+    result = run_program(lu_program(LUConfig(n=64)), config)
+    print(result.execution_time, result.processor_utilization)
+"""
+
+from repro.config import (
+    CacheGeometry,
+    Consistency,
+    LatencyTable,
+    MachineConfig,
+    PlacementPolicy,
+    dash_full_config,
+    dash_scaled_config,
+)
+from repro.processor.accounting import Bucket, TimeBreakdown
+from repro.system import Machine, SimulationResult, run_program
+from repro.tango import ProcessEnv, Program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bucket",
+    "CacheGeometry",
+    "Consistency",
+    "LatencyTable",
+    "Machine",
+    "MachineConfig",
+    "PlacementPolicy",
+    "ProcessEnv",
+    "Program",
+    "SimulationResult",
+    "TimeBreakdown",
+    "dash_full_config",
+    "dash_scaled_config",
+    "run_program",
+]

@@ -1,0 +1,16 @@
+"""The paper's benchmark applications: MP3D, LU, and PTHOR."""
+
+from repro.apps import base
+from repro.apps.lu import LUConfig, lu_program
+from repro.apps.mp3d import MP3DConfig, mp3d_program
+from repro.apps.pthor import PTHORConfig, pthor_program
+
+__all__ = [
+    "LUConfig",
+    "MP3DConfig",
+    "PTHORConfig",
+    "base",
+    "lu_program",
+    "mp3d_program",
+    "pthor_program",
+]

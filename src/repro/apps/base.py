@@ -1,0 +1,108 @@
+"""Shared helpers for the benchmark applications.
+
+Each application is a faithful port of the paper's benchmark at the
+level Tango observed it: the *real computation* runs in Python, and the
+thread generators interleave it with the shared-data reference stream
+(reads, writes, prefetches, synchronization) that the architecture
+simulator times.  Busy-cycle costs per operation are calibrated so the
+run lengths and busy/reference ratios land near the paper's reported
+values (median run lengths 11/6/7 cycles for MP3D/LU/PTHOR).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Union
+
+from repro.memlayout import Region
+from repro.tango import ops as O
+
+
+class PrefetchMode(enum.Enum):
+    """How aggressively an application issues prefetches.
+
+    ``FULL`` is the paper's single-context annotation.  ``REMOTE_ONLY``
+    is the Section 7 suggestion that "the prefetching strategy must
+    become more sensitive to the presence of multiple contexts": local
+    misses are short enough for contexts to hide, so prefetching them
+    only adds overhead — a context-aware annotation prefetches only the
+    remote-homed data.
+    """
+
+    OFF = "off"
+    FULL = "full"
+    REMOTE_ONLY = "remote_only"
+
+
+def prefetch_mode(flag: Union[bool, PrefetchMode]) -> PrefetchMode:
+    """Normalize the ``prefetching`` argument of the app builders."""
+    if isinstance(flag, PrefetchMode):
+        return flag
+    return PrefetchMode.FULL if flag else PrefetchMode.OFF
+
+
+def record_lines(region: Region, index: int, record_bytes: int, line_bytes: int = 16) -> List[int]:
+    """Line-aligned addresses spanning record ``index`` of a region of
+    fixed-size records."""
+    base = region.addr(index * record_bytes)
+    first = base - (base % line_bytes)
+    last = base + record_bytes - 1
+    last -= last % line_bytes
+    return list(range(first, last + line_bytes, line_bytes))
+
+
+def read_record(region: Region, index: int, record_bytes: int) -> Iterator[tuple]:
+    """Yield READ ops covering every line of a record."""
+    for addr in record_lines(region, index, record_bytes):
+        yield (O.READ, addr)
+
+
+def write_record(region: Region, index: int, record_bytes: int) -> Iterator[tuple]:
+    """Yield WRITE ops covering every line of a record."""
+    for addr in record_lines(region, index, record_bytes):
+        yield (O.WRITE, addr)
+
+
+def prefetch_record(
+    region: Region, index: int, record_bytes: int, exclusive: bool
+) -> Iterator[tuple]:
+    """Yield PREFETCH ops covering every line of a record."""
+    for addr in record_lines(region, index, record_bytes):
+        yield (O.PREFETCH, addr, exclusive)
+
+
+def partition_indices(total: int, part: int, parts: int) -> range:
+    """Contiguous static partition ``part`` of ``range(total)``."""
+    base = total // parts
+    extra = total % parts
+    start = part * base + min(part, extra)
+    size = base + (1 if part < extra else 0)
+    return range(start, start + size)
+
+
+def interleaved_indices(total: int, part: int, parts: int) -> range:
+    """Interleaved static partition (LU's column assignment)."""
+    return range(part, total, parts)
+
+
+@dataclass
+class DeterministicRandom:
+    """Seeded RNG wrapper so every run of an application is repeatable."""
+
+    seed: int
+
+    def make(self, stream: int = 0) -> random.Random:
+        return random.Random((self.seed * 1_000_003 + stream) & 0x7FFFFFFF)
+
+
+def chain_busy(ops: Iterable[tuple], busy_every: int, busy_cycles: int) -> Iterator[tuple]:
+    """Interleave BUSY ops into a reference stream every ``busy_every``
+    references (address-computation work between accesses)."""
+    count = 0
+    for op in ops:
+        yield op
+        count += 1
+        if count % busy_every == 0:
+            yield (O.BUSY, busy_cycles)

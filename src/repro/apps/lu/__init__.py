@@ -1,0 +1,26 @@
+"""LU: dense LU-decomposition with interleaved column ownership."""
+
+from repro.apps.lu.app import LUWorld, lu_program
+from repro.apps.lu.config import LUConfig, bench_scale, paper_scale
+from repro.apps.lu.kernel import (
+    apply_pivot,
+    factor_sequential,
+    generate_matrix,
+    max_abs_difference,
+    normalize_column,
+    reconstruct,
+)
+
+__all__ = [
+    "LUConfig",
+    "LUWorld",
+    "apply_pivot",
+    "bench_scale",
+    "factor_sequential",
+    "generate_matrix",
+    "lu_program",
+    "max_abs_difference",
+    "normalize_column",
+    "paper_scale",
+    "reconstruct",
+]

@@ -1,0 +1,44 @@
+"""LU configuration.
+
+The paper factors a 200x200 dense matrix (Section 2.2), chosen so the
+data only fits the combined caches once the bottom third remains.  The
+default here is a smaller matrix in the same regime relative to the
+scaled 2KB/4KB caches; :func:`paper_scale` restores 200x200.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LUConfig:
+    """Parameters of one LU-decomposition run."""
+
+    n: int = 64
+    seed: int = 7
+    element_bytes: int = 8  # double-precision matrix elements
+    #: Busy cycles of floating-point work per inner-loop element update
+    #: (multiply-add plus indexing on an R3000-class pipeline).
+    update_busy: int = 8
+    #: Busy cycles per element of the pivot-column normalization.
+    normalize_busy: int = 8
+    #: How many cache lines ahead the element loop prefetches (the
+    #: paper's "schedule the prefetches far enough in advance").
+    prefetch_distance_lines: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("matrix must be at least 2x2")
+        if self.element_bytes <= 0:
+            raise ValueError("element size must be positive")
+
+
+def paper_scale() -> LUConfig:
+    """The paper's 200x200 matrix."""
+    return LUConfig(n=200)
+
+
+def bench_scale() -> LUConfig:
+    """Small matrix used by the benchmark harness."""
+    return LUConfig(n=48)

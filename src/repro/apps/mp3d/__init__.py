@@ -1,0 +1,30 @@
+"""MP3D: 3-D particle-based rarefied hypersonic flow simulator."""
+
+from repro.apps.mp3d.app import MP3DWorld, mp3d_program
+from repro.apps.mp3d.config import MP3DConfig, bench_scale, paper_scale
+from repro.apps.mp3d.physics import (
+    FlowField,
+    Particle,
+    SpaceCell,
+    accumulate,
+    maybe_collide,
+    move_particle,
+    seed_particles,
+    total_momentum,
+)
+
+__all__ = [
+    "FlowField",
+    "MP3DConfig",
+    "MP3DWorld",
+    "Particle",
+    "SpaceCell",
+    "accumulate",
+    "bench_scale",
+    "maybe_collide",
+    "move_particle",
+    "mp3d_program",
+    "paper_scale",
+    "seed_particles",
+    "total_momentum",
+]

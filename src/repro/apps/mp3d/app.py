@@ -1,0 +1,203 @@
+"""MP3D application threads.
+
+Parallelization follows the paper exactly (Section 2.2): particles are
+statically divided equally among the processes, each process's particles
+are allocated from shared memory local to its node, the space-cell array
+is distributed uniformly, and the main synchronization is barriers
+between the phases of each time step.  MP3D uses no locks (Table 2);
+concurrent cell updates are unsynchronized, as in the original.
+
+Prefetch annotation (Section 5.2): a particle record is prefetched
+read-exclusively two iterations before its turn; in the following
+iteration the particle is read and its space cell is determined and
+prefetched read-exclusively, so both records are cached when the
+particle moves.  Boundary-phase references are prefetched too.  The
+paper reaches an 87% coverage factor with 16 added source lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps import base
+from repro.apps.mp3d.config import MP3DConfig
+from repro.apps.mp3d.physics import (
+    FlowField,
+    accumulate,
+    maybe_collide,
+    move_particle,
+    seed_particles,
+)
+from repro.memlayout import Region, SharedMemoryAllocator
+from repro.tango import ops as O
+from repro.tango.program import ProcessEnv, Program
+
+
+class MP3DWorld:
+    """Shared state of one MP3D run: physics plus memory layout."""
+
+    def __init__(
+        self, config: MP3DConfig, allocator: SharedMemoryAllocator, num_processes: int
+    ) -> None:
+        self.config = config
+        self.num_processes = num_processes
+        rng = base.DeterministicRandom(config.seed).make()
+        self.field = FlowField(config.space_x, config.space_y, config.space_z)
+        self.particles = seed_particles(self.field, config.num_particles, rng)
+
+        # Per-process particle partitions, allocated node-locally.
+        self.partitions = [
+            base.partition_indices(config.num_particles, p, num_processes)
+            for p in range(num_processes)
+        ]
+        self.particle_regions: List[Region] = []
+        for p, part in enumerate(self.partitions):
+            size = max(1, len(part)) * config.particle_record_bytes
+            node = p % allocator.num_nodes
+            self.particle_regions.append(
+                allocator.alloc_local(f"mp3d.particles.{p}", size, node)
+            )
+        # Space cells distributed uniformly (round-robin pages).
+        self.cell_region = allocator.alloc_round_robin(
+            "mp3d.cells", config.num_cells * config.cell_record_bytes
+        )
+        self.page_bytes = allocator.page_bytes
+        self.sync_region = allocator.alloc_round_robin(
+            "mp3d.sync", 4 * self.page_bytes
+        )
+        self.steps_completed = 0
+        self.collisions = 0
+
+    # -- address helpers ----------------------------------------------------
+
+    def particle_lines(self, process: int, local_index: int) -> List[int]:
+        return base.record_lines(
+            self.particle_regions[process],
+            local_index,
+            self.config.particle_record_bytes,
+        )
+
+    def cell_addr(self, cell_index: int) -> int:
+        return self.cell_region.addr(cell_index * self.config.cell_record_bytes)
+
+    def barrier_addr(self, phase: int) -> int:
+        return self.sync_region.addr(self.page_bytes * (phase % 4))
+
+
+def _mp3d_thread(world: MP3DWorld, env: ProcessEnv, mode: base.PrefetchMode):
+    """One MP3D process: move my particles each step, then help reset
+    the cell statistics, with barriers between phases."""
+    prefetching = mode is not base.PrefetchMode.OFF
+    prefetch_local = mode is base.PrefetchMode.FULL
+    config = world.config
+    field = world.field
+    particles = world.particles
+    mine = list(world.partitions[env.process_id])
+    rng = base.DeterministicRandom(config.seed).make(stream=env.process_id + 1)
+    nproc = env.num_processes
+    cell_of: Dict[int, int] = {}
+    my_cells = base.partition_indices(config.num_cells, env.process_id, nproc)
+
+    yield (O.BARRIER, world.barrier_addr(0), nproc)
+
+    for step in range(config.time_steps):
+        # ---- move phase -------------------------------------------------
+        for position, i in enumerate(mine):
+            if prefetching:
+                # Particle i+2's record, two iterations ahead (read-ex).
+                # Particle records are node-local: a context-aware
+                # annotation leaves them to the other contexts.
+                if prefetch_local and position + 2 < len(mine):
+                    for addr in world.particle_lines(env.process_id, position + 2):
+                        yield (O.PREFETCH, addr, True)
+                # Read the next particle's header and prefetch its cell.
+                if position + 1 < len(mine):
+                    nxt = mine[position + 1]
+                    header = world.particle_lines(env.process_id, position + 1)[0]
+                    yield (O.READ, header)
+                    next_cell = field.cell_index(particles[nxt])
+                    yield (O.PREFETCH, world.cell_addr(next_cell), True)
+
+            p = particles[i]
+            lines = world.particle_lines(env.process_id, position)
+            # Field-level walk over the particle record: position, then
+            # velocity (records straddle lines, so both halves appear).
+            yield (O.READ, lines[0])
+            yield (O.READ, lines[min(1, len(lines) - 1)])
+            yield (O.BUSY, 4)
+            yield (O.READ, lines[min(1, len(lines) - 1)])
+            yield (O.READ, lines[-1])
+            yield (O.BUSY, 6)
+
+            cell_index = move_particle(field, p)
+            cell_of[i] = cell_index
+            # Boundary handling walks position and velocity per axis,
+            # then writes the new position back.
+            yield (O.READ, lines[0])
+            yield (O.READ, lines[min(1, len(lines) - 1)])
+            yield (O.BUSY, 3)
+            yield (O.WRITE, lines[0])
+            yield (O.WRITE, lines[min(1, len(lines) - 1)])
+            yield (O.BUSY, 4)
+            yield (O.READ, lines[-1])
+            yield (O.WRITE, lines[-1])
+            yield (O.READ, lines[0])
+            yield (O.BUSY, 5)
+
+            cell = field.cells[cell_index]
+            cell_addr = world.cell_addr(cell_index)
+            # Cell statistics: the population word, then each momentum
+            # component read-modify-written in turn.
+            yield (O.READ, cell_addr)
+            accumulate(cell, p)
+            yield (O.READ, cell_addr)
+            yield (O.READ, lines[min(1, len(lines) - 1)])
+            yield (O.READ, cell_addr)
+            yield (O.WRITE, cell_addr)
+            yield (O.READ, lines[-1])
+            yield (O.READ, cell_addr)
+            yield (O.WRITE, cell_addr)
+            yield (O.BUSY, 5)
+
+            if maybe_collide(cell, p, rng, config.collision_scale):
+                world.collisions += 1
+                # Collision reads the reservoir and rewrites velocities.
+                yield (O.READ, cell_addr)
+                yield (O.READ, lines[-1])
+                yield (O.WRITE, lines[-1])
+                yield (O.WRITE, cell_addr)
+                yield (O.BUSY, 8)
+
+        yield (O.BARRIER, world.barrier_addr(1), nproc)
+
+        # ---- cell statistics reset phase ----------------------------------
+        for c in my_cells:
+            addr = world.cell_addr(c)
+            if prefetching:
+                yield (O.PREFETCH, addr, True)
+            yield (O.READ, addr)
+            field.cells[c].reset_statistics()
+            yield (O.WRITE, addr)
+            yield (O.BUSY, 3)
+
+        yield (O.BARRIER, world.barrier_addr(2), nproc)
+        if env.process_id == 0:
+            world.steps_completed += 1
+
+    yield (O.BARRIER, world.barrier_addr(3), nproc)
+
+
+def mp3d_program(config: MP3DConfig = MP3DConfig(), prefetching=False) -> Program:
+    """Build the MP3D benchmark as a runnable :class:`Program`.
+
+    ``prefetching`` accepts a bool or a :class:`~repro.apps.base.PrefetchMode`.
+    """
+    mode = base.prefetch_mode(prefetching)
+
+    def setup(allocator: SharedMemoryAllocator, num_processes: int) -> MP3DWorld:
+        return MP3DWorld(config, allocator, num_processes)
+
+    def factory(world: MP3DWorld, env: ProcessEnv):
+        return _mp3d_thread(world, env, mode)
+
+    return Program("MP3D", setup, factory, prefetching=mode is not base.PrefetchMode.OFF)

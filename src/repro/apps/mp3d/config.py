@@ -1,0 +1,64 @@
+"""MP3D configuration.
+
+The paper runs MP3D with 10,000 particles, a 14x24x7 space array, and 5
+time steps (Section 2.2).  That scale is available as
+:func:`paper_scale`, while the default :class:`MP3DConfig` is a further
+scaled-down data set (the paper's own scaling methodology, Section 2.3)
+sized so the full figure matrix runs in minutes while keeping the
+problem-size/cache-size ratio — and therefore the miss behaviour — in
+the same regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MP3DConfig:
+    """Parameters of one MP3D run."""
+
+    num_particles: int = 2000
+    space_x: int = 8
+    space_y: int = 12
+    space_z: int = 5
+    time_steps: int = 3
+    #: Per-cell probability scale for particle-reservoir collisions.
+    collision_scale: float = 0.25
+    #: Simulation seed (initial particle placement, collisions).
+    seed: int = 1991
+
+    #: Bytes per particle record (position, velocity, cell id, flags —
+    #: nine 4-byte words, matching the paper's ~401KB for 10k particles).
+    particle_record_bytes: int = 36
+    #: Bytes per space-cell record (one cache line).
+    cell_record_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_particles <= 0 or self.time_steps <= 0:
+            raise ValueError("need particles and time steps")
+        if min(self.space_x, self.space_y, self.space_z) <= 0:
+            raise ValueError("space array dimensions must be positive")
+        if not 0.0 <= self.collision_scale <= 1.0:
+            raise ValueError("collision_scale must be a probability scale")
+
+    @property
+    def num_cells(self) -> int:
+        return self.space_x * self.space_y * self.space_z
+
+
+def paper_scale() -> MP3DConfig:
+    """The paper's full MP3D data set: 10,000 particles, 14x24x7 cells,
+    5 time steps."""
+    return MP3DConfig(
+        num_particles=10_000,
+        space_x=14,
+        space_y=24,
+        space_z=7,
+        time_steps=5,
+    )
+
+
+def bench_scale() -> MP3DConfig:
+    """Small data set used by the benchmark harness."""
+    return MP3DConfig(num_particles=400, space_x=5, space_y=8, space_z=3, time_steps=2)

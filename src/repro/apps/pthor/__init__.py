@@ -1,0 +1,36 @@
+"""PTHOR: parallel distributed-time gate-level logic simulator."""
+
+from repro.apps.pthor.app import PTHORWorld, pthor_program
+from repro.apps.pthor.circuit import (
+    Circuit,
+    Gate,
+    GateType,
+    full_adder,
+    ripple_counter,
+    synthesize_circuit,
+)
+from repro.apps.pthor.config import PTHORConfig, bench_scale, paper_scale
+from repro.apps.pthor.logicsim import (
+    clock_edge,
+    default_stimulus,
+    settle,
+    simulate_sequential,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "PTHORConfig",
+    "PTHORWorld",
+    "bench_scale",
+    "clock_edge",
+    "default_stimulus",
+    "full_adder",
+    "paper_scale",
+    "pthor_program",
+    "ripple_counter",
+    "settle",
+    "simulate_sequential",
+    "synthesize_circuit",
+]

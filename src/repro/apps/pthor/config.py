@@ -1,0 +1,52 @@
+"""PTHOR configuration.
+
+The paper simulates five clock cycles of a small RISC processor of
+~11,000 two-input gates (Section 2.2).  :func:`paper_scale` matches
+that; the default is a smaller synthetic circuit in the same
+miss-behaviour regime relative to the scaled caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PTHORConfig:
+    """Parameters of one PTHOR run."""
+
+    num_gates: int = 1500
+    clock_cycles: int = 3
+    flip_flop_fraction: float = 0.15
+    num_primary_inputs: int = 8
+    levels: int = 6
+    seed: int = 42
+
+    #: Bytes per element record (type, state, input/output pointers,
+    #: scheduling flags — matching PTHOR's fat element records).
+    element_record_bytes: int = 64
+    #: Bytes per net value entry.
+    net_bytes: int = 8
+    #: Busy cycles per gate evaluation (truth-table lookup, event time
+    #: computation, and output scheduling on an R3000-class pipeline).
+    evaluate_busy: int = 30
+    #: Busy cycles per fanout-scheduling step.
+    schedule_busy: int = 8
+    #: Busy cycles per spin-loop iteration on an empty task queue.
+    spin_busy: int = 20
+
+    def __post_init__(self) -> None:
+        if self.num_gates < 4:
+            raise ValueError("need at least four gates")
+        if self.clock_cycles <= 0:
+            raise ValueError("need at least one clock cycle")
+
+
+def paper_scale() -> PTHORConfig:
+    """The paper's circuit scale: ~11,000 gates, 5 clock cycles."""
+    return PTHORConfig(num_gates=11_000, clock_cycles=5, levels=10)
+
+
+def bench_scale() -> PTHORConfig:
+    """Small circuit used by the benchmark harness."""
+    return PTHORConfig(num_gates=400, clock_cycles=2)

@@ -1,0 +1,210 @@
+"""Cache arrays.
+
+Both cache levels of the DASH processor environment are direct-mapped
+with 16-byte lines.  The primary cache is write-through (lines are only
+VALID or absent); the secondary cache is write-back and participates in
+the coherence protocol (lines are SHARED or DIRTY).
+
+Only *shared* data flows through these caches; instruction and private
+references are assumed to hit, as in the paper (Section 2.3, footnote 2).
+
+:class:`DirectMappedCache` also supports set-associative geometries with
+LRU replacement (``CacheGeometry.ways > 1``) for the interference
+ablations; the paper's experiments all use ``ways=1``, which takes a
+dedicated fast path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.config import CacheGeometry
+
+
+class LineState(enum.IntEnum):
+    """Coherence state of a cached line."""
+
+    INVALID = 0
+    SHARED = 1   # clean, possibly one of several copies
+    DIRTY = 2    # exclusive, modified (secondary cache only)
+
+
+class DirectMappedCache:
+    """A (set-associative capable) cache array of (tag, state) entries.
+
+    ``tag`` stores the full line base address, which keeps lookups
+    trivial and exact.  With ``ways == 1`` (DASH's configuration, and
+    the default) the hot paths avoid all per-set list handling.
+    """
+
+    __slots__ = (
+        "geometry",
+        "_tags",
+        "_states",
+        "_sets",
+        "_line_bytes",
+        "_num_sets",
+        "_ways",
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations_received",
+    )
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._line_bytes = geometry.line_bytes
+        self._num_sets = geometry.num_sets
+        self._ways = geometry.ways
+        if self._ways == 1:
+            self._tags = [-1] * self._num_sets
+            self._states = [LineState.INVALID] * self._num_sets
+            self._sets = None
+        else:
+            # Per-set list of [tag, state], most recently used first.
+            self._tags = None
+            self._states = None
+            self._sets = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations_received = 0
+
+    # -- geometry helpers --------------------------------------------------
+
+    def set_index(self, line: int) -> int:
+        return (line // self._line_bytes) % self._num_sets
+
+    def line_of(self, addr: int) -> int:
+        return addr - (addr % self._line_bytes)
+
+    # -- associative-set helpers ---------------------------------------------
+
+    def _find(self, entries, line: int):
+        for position, entry in enumerate(entries):
+            if entry[0] == line:
+                return position
+        return None
+
+    # -- accesses ----------------------------------------------------------
+
+    def lookup(self, line: int) -> LineState:
+        """State of ``line`` (INVALID when absent); counts hit/miss and
+        refreshes LRU order on associative geometries."""
+        index = self.set_index(line)
+        if self._ways == 1:
+            if self._tags[index] == line and self._states[index] != LineState.INVALID:
+                self.hits += 1
+                return self._states[index]
+            self.misses += 1
+            return LineState.INVALID
+        entries = self._sets[index]
+        position = self._find(entries, line)
+        if position is not None and entries[position][1] != LineState.INVALID:
+            entry = entries.pop(position)
+            entries.insert(0, entry)
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return LineState.INVALID
+
+    def probe(self, line: int) -> LineState:
+        """State of ``line`` without touching counters or LRU order."""
+        index = self.set_index(line)
+        if self._ways == 1:
+            if self._tags[index] == line:
+                return self._states[index]
+            return LineState.INVALID
+        position = self._find(self._sets[index], line)
+        if position is not None:
+            return self._sets[index][position][1]
+        return LineState.INVALID
+
+    def insert(
+        self, line: int, state: LineState
+    ) -> Optional[Tuple[int, LineState]]:
+        """Install ``line`` with ``state``.
+
+        Returns ``(victim_line, victim_state)`` if a different valid line
+        was evicted from the set, else None.
+        """
+        if state == LineState.INVALID:
+            raise ValueError("cannot insert a line in INVALID state")
+        index = self.set_index(line)
+        if self._ways == 1:
+            victim = None
+            if (
+                self._tags[index] != line
+                and self._tags[index] != -1
+                and self._states[index] != LineState.INVALID
+            ):
+                victim = (self._tags[index], self._states[index])
+                self.evictions += 1
+            self._tags[index] = line
+            self._states[index] = state
+            return victim
+        entries = self._sets[index]
+        position = self._find(entries, line)
+        if position is not None:
+            entry = entries.pop(position)
+            entry[1] = state
+            entries.insert(0, entry)
+            return None
+        entries.insert(0, [line, state])
+        if len(entries) > self._ways:
+            victim_line, victim_state = entries.pop()
+            if victim_state != LineState.INVALID:
+                self.evictions += 1
+                return (victim_line, victim_state)
+        return None
+
+    def set_state(self, line: int, state: LineState) -> None:
+        """Change the state of a resident line (e.g. SHARED -> DIRTY)."""
+        index = self.set_index(line)
+        if self._ways == 1:
+            if self._tags[index] != line or self._states[index] == LineState.INVALID:
+                raise KeyError(f"line {line:#x} not resident")
+            self._states[index] = state
+            return
+        position = self._find(self._sets[index], line)
+        if position is None or self._sets[index][position][1] == LineState.INVALID:
+            raise KeyError(f"line {line:#x} not resident")
+        self._sets[index][position][1] = state
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident; True if something was dropped."""
+        index = self.set_index(line)
+        if self._ways == 1:
+            if self._tags[index] == line and self._states[index] != LineState.INVALID:
+                self._states[index] = LineState.INVALID
+                self.invalidations_received += 1
+                return True
+            return False
+        entries = self._sets[index]
+        position = self._find(entries, line)
+        if position is not None and entries[position][1] != LineState.INVALID:
+            entries.pop(position)
+            self.invalidations_received += 1
+            return True
+        return False
+
+    def resident_lines(self):
+        """Iterate over (line, state) of valid entries (for invariants)."""
+        if self._ways == 1:
+            for tag, state in zip(self._tags, self._states):
+                if tag != -1 and state != LineState.INVALID:
+                    yield tag, state
+            return
+        for entries in self._sets:
+            for tag, state in entries:
+                if state != LineState.INVALID:
+                    yield tag, state
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0

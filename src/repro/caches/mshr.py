@@ -1,0 +1,70 @@
+"""Miss status holding registers (lockup-free cache support).
+
+Lockup-free caches [Kroft 81] let new accesses proceed while misses are
+outstanding — a universal requirement for RC, prefetching, and multiple
+contexts (Section 7).  The MSHR table tracks every in-flight transaction
+per line so that:
+
+* a demand reference to a line with an outstanding prefetch *combines*
+  with it instead of sending duplicate messages (Section 5.1), and
+* a second context's miss to the same line piggybacks on the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class OutstandingMiss:
+    """One in-flight fill/ownership transaction for a line."""
+
+    line: int
+    exclusive: bool
+    issue_time: int
+    complete_time: int
+    is_prefetch: bool
+    waiters: List[Callable[[int], None]] = field(default_factory=list)
+    #: Set when a demand reference combined with this (prefetch) miss.
+    combined: bool = False
+
+
+class MSHRTable:
+    """Outstanding-transaction table for one node's secondary cache."""
+
+    def __init__(self) -> None:
+        self._misses: Dict[int, OutstandingMiss] = {}
+        self.combines = 0
+
+    def lookup(self, line: int) -> Optional[OutstandingMiss]:
+        return self._misses.get(line)
+
+    def add(self, miss: OutstandingMiss) -> None:
+        if miss.line in self._misses:
+            raise ValueError(f"line {miss.line:#x} already outstanding")
+        self._misses[miss.line] = miss
+
+    def combine(
+        self, line: int, waiter: Optional[Callable[[int], None]] = None
+    ) -> OutstandingMiss:
+        """Attach a demand reference to an outstanding miss for ``line``."""
+        miss = self._misses[line]
+        miss.combined = True
+        self.combines += 1
+        if waiter is not None:
+            miss.waiters.append(waiter)
+        return miss
+
+    def retire(self, line: int) -> OutstandingMiss:
+        """Remove and return the completed transaction for ``line``."""
+        miss = self._misses.pop(line)
+        for waiter in miss.waiters:
+            waiter(miss.complete_time)
+        return miss
+
+    def __len__(self) -> int:
+        return len(self._misses)
+
+    def outstanding_lines(self):
+        return list(self._misses)

@@ -1,0 +1,69 @@
+"""Prefetch buffer.
+
+A prefetch instruction is issued to a dedicated 16-entry buffer (identical
+to a write buffer but carrying only prefetch requests) so that prefetches
+are not delayed behind writes (Section 5.1).  When a prefetch reaches the
+head of the buffer the secondary cache is checked; if the line is already
+present the prefetch is discarded, otherwise it goes onto the bus like a
+normal memory request.  When the response returns it fills both cache
+levels, stalling the processor for the fill (four cycles for a four-word
+line) if it is executing.
+
+This module is the bookkeeping structure; the drain engine lives in
+:mod:`repro.system.memiface`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Optional
+from collections import deque
+
+
+@dataclass
+class PrefetchEntry:
+    """One buffered prefetch request."""
+
+    line: int
+    exclusive: bool
+    enqueue_time: int
+
+
+class PrefetchBuffer:
+    """FIFO buffer of pending prefetch requests."""
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._entries: Deque[PrefetchEntry] = deque()
+        self.enqueued = 0
+        self.discarded_in_cache = 0
+        self.discarded_outstanding = 0
+        self.full_stalls = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: PrefetchEntry) -> None:
+        if self.is_full:
+            raise OverflowError("prefetch buffer full")
+        self._entries.append(entry)
+        self.enqueued += 1
+
+    def pop(self) -> PrefetchEntry:
+        if not self._entries:
+            raise IndexError("prefetch buffer empty")
+        return self._entries.popleft()
+
+    def head(self) -> Optional[PrefetchEntry]:
+        return self._entries[0] if self._entries else None

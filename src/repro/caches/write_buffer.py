@@ -1,0 +1,134 @@
+"""Write buffer.
+
+The DASH processor environment puts a 16-entry write buffer between the
+primary and secondary caches.  Under release consistency, writes retire
+from the buffer in FIFO order while the processor keeps running, reads
+bypass buffered writes, and the lockup-free secondary cache pipelines
+several outstanding ownership requests.  A *release* entry (unlock, flag
+set, barrier arrival) may not issue until every earlier write has fully
+completed, including invalidation acknowledgements.
+
+Under sequential consistency the buffer is unused: the processor stalls
+on each write until it retires (Section 4.1).
+
+This module is the pure bookkeeping structure; the drain engine that
+issues ownership requests lives in :mod:`repro.system.memiface`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+from collections import deque
+
+
+@dataclass
+class WriteEntry:
+    """One buffered write (or release marker)."""
+
+    line: int
+    enqueue_time: int
+    is_release: bool = False
+    #: Invoked with the retire time once ownership is acquired.  Releases
+    #: use it to perform the actual synchronization release.
+    on_retire: Optional[Callable[[int], None]] = None
+    issued: bool = False
+
+
+class WriteBuffer:
+    """FIFO write buffer with a bounded number of in-flight retirements."""
+
+    def __init__(self, depth: int, max_outstanding: int) -> None:
+        if depth <= 0 or max_outstanding <= 0:
+            raise ValueError("depth and max_outstanding must be positive")
+        self.depth = depth
+        self.max_outstanding = max_outstanding
+        self._entries: Deque[WriteEntry] = deque()
+        #: Completion times (incl. acks) of writes that have issued but
+        #: whose invalidations may still be in flight.
+        self._inflight_completions: List[int] = []
+        self.enqueued = 0
+        self.full_stalls = 0
+
+    # -- occupancy ---------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def outstanding_issues(self) -> int:
+        return sum(1 for entry in self._entries if entry.issued)
+
+    # -- queue operations ----------------------------------------------------
+
+    def push(self, entry: WriteEntry) -> None:
+        if self.is_full:
+            raise OverflowError("write buffer full")
+        self._entries.append(entry)
+        self.enqueued += 1
+
+    def head(self) -> Optional[WriteEntry]:
+        return self._entries[0] if self._entries else None
+
+    def next_issuable(self) -> Optional[WriteEntry]:
+        """Oldest unissued entry that may issue now, honouring:
+
+        * the in-flight cap (lockup-free MSHR budget), and
+        * release ordering — a release may only issue when it is at the
+          head and nothing earlier is still in flight.
+        """
+        if self.outstanding_issues >= self.max_outstanding:
+            return None
+        for position, entry in enumerate(self._entries):
+            if entry.issued:
+                continue
+            if entry.is_release:
+                if position == 0 and not self.pending_completions_before(0):
+                    return entry
+                return None
+            return entry
+        return None
+
+    def pending_completions_before(self, _position: int) -> bool:
+        """True if earlier-issued writes have not fully completed yet.
+
+        ``record_completion`` / ``ack_horizon`` track completion times of
+        issued writes; callers compare against the current time.
+        """
+        return bool(self._inflight_completions)
+
+    def mark_issued(self, entry: WriteEntry) -> None:
+        entry.issued = True
+
+    def retire_head(self) -> WriteEntry:
+        """Pop the head entry (it must have issued)."""
+        if not self._entries:
+            raise IndexError("write buffer empty")
+        entry = self._entries[0]
+        if not entry.issued:
+            raise RuntimeError("retiring an unissued write")
+        return self._entries.popleft()
+
+    # -- ack tracking --------------------------------------------------------
+
+    def record_inflight_completion(self, complete_time: int) -> None:
+        self._inflight_completions.append(complete_time)
+
+    def expire_completions(self, now: int) -> None:
+        """Drop completion records whose acks have all arrived."""
+        self._inflight_completions = [
+            t for t in self._inflight_completions if t > now
+        ]
+
+    def ack_horizon(self) -> int:
+        """Latest completion time of any issued-but-unacked write."""
+        return max(self._inflight_completions, default=0)

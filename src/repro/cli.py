@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+``repro-1991 table1`` / ``table2`` / ``fig2`` .. ``fig6`` / ``summary`` /
+``all`` regenerate the paper's tables and figures at a chosen workload
+scale and print them next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    ExperimentRunner,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    format_bars,
+    format_table,
+    summary_speedups,
+    table1,
+    table2,
+)
+from repro.experiments import paper_data
+
+
+def _print_table1() -> None:
+    probes = table1()
+    rows = [
+        (p.operation, p.expected, p.measured, "ok" if p.matches else "MISMATCH")
+        for p in probes
+    ]
+    print(
+        format_table(
+            "Table 1: memory operation latencies (pclocks, no contention)",
+            ["operation", "paper", "measured", ""],
+            rows,
+        )
+    )
+
+
+def _print_table2(runner: ExperimentRunner) -> None:
+    rows = []
+    for row in table2(runner):
+        paper = paper_data.TABLE2[row.app]
+        rows.append(
+            (
+                row.app,
+                f"{row.useful_kcycles:.0f}",
+                paper["useful_kcycles"],
+                f"{row.shared_reads_k:.0f}",
+                paper["shared_reads_k"],
+                f"{row.shared_writes_k:.0f}",
+                paper["shared_writes_k"],
+                row.locks,
+                paper["locks"],
+                row.barriers,
+                paper["barriers"],
+                f"{row.shared_kbytes:.0f}",
+                paper["shared_kbytes"],
+            )
+        )
+    print(
+        format_table(
+            f"Table 2: general statistics (measured at scale={runner.scale!r} "
+            "vs paper's full workloads)",
+            [
+                "app",
+                "busy(K)",
+                "paper",
+                "reads(K)",
+                "paper",
+                "writes(K)",
+                "paper",
+                "locks",
+                "paper",
+                "barriers",
+                "paper",
+                "KB",
+                "paper",
+            ],
+            rows,
+        )
+    )
+
+
+_FIGURES = {
+    "fig2": ("Figure 2: effect of caching shared data", figure2,
+             paper_data.FIGURE2_TOTALS, False),
+    "fig3": ("Figure 3: effect of relaxing the consistency model", figure3,
+             paper_data.FIGURE3_TOTALS, False),
+    "fig4": ("Figure 4: effect of prefetching", figure4,
+             paper_data.FIGURE4_TOTALS, False),
+    "fig5": ("Figure 5: effect of multiple contexts (SC)", figure5,
+             paper_data.FIGURE5_TOTALS, True),
+    "fig6": ("Figure 6: combining the schemes (switch latency 4)", figure6,
+             paper_data.FIGURE6_TOTALS, True),
+}
+
+
+def _print_figure(name: str, runner: ExperimentRunner) -> None:
+    title, fn, paper, multi = _FIGURES[name]
+    bars = fn(runner)
+    print(format_bars(title, bars, paper_totals=paper, multi_context=multi))
+
+
+def _print_summary(runner: ExperimentRunner) -> None:
+    speedups = summary_speedups(runner)
+    rows = []
+    for app, values in speedups.items():
+        rows.append(
+            (
+                app,
+                values["cache_over_uncached"],
+                values["rc_over_sc"],
+                values["rc_pf_over_sc"],
+                values["combined_over_uncached"],
+            )
+        )
+    print(
+        format_table(
+            "Section 7 headline speedups (combined best is over the "
+            "uncached baseline; paper reports 4-7x)",
+            ["app", "cache", "RC/SC", "RC+pf/SC", "combined"],
+            rows,
+        )
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-1991",
+        description=(
+            "Regenerate the tables and figures of Gupta et al., "
+            "'Comparative Evaluation of Latency Reducing and Tolerating "
+            "Techniques' (ISCA 1991)."
+        ),
+    )
+    parser.add_argument(
+        "what",
+        choices=["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
+                 "summary", "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["bench", "default", "paper"],
+        default="default",
+        help="workload scale (paper = the full data sets; slow)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log each simulation run"
+    )
+    args = parser.parse_args(argv)
+
+    runner = ExperimentRunner(scale=args.scale, verbose=args.verbose)
+    targets = (
+        ["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "summary"]
+        if args.what == "all"
+        else [args.what]
+    )
+    for target in targets:
+        if target == "table1":
+            _print_table1()
+        elif target == "table2":
+            _print_table2(runner)
+        elif target == "summary":
+            _print_summary(runner)
+        else:
+            _print_figure(target, runner)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Directory-based invalidating cache-coherence protocol."""
+
+from repro.coherence.directory import Directory, DirectoryEntry, DirState
+from repro.coherence.protocol import (
+    AccessClass,
+    AccessOutcome,
+    CoherenceProtocol,
+    NodeCaches,
+    ProtocolStats,
+)
+
+__all__ = [
+    "AccessClass",
+    "AccessOutcome",
+    "CoherenceProtocol",
+    "Directory",
+    "DirectoryEntry",
+    "DirState",
+    "NodeCaches",
+    "ProtocolStats",
+]

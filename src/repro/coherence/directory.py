@@ -1,0 +1,79 @@
+"""Distributed directory state.
+
+Cache coherence is maintained with an invalidating, distributed
+directory-based protocol (Section 2.1): for each memory line, the
+directory at the line's *home* node tracks which nodes cache it and, when
+a write occurs, point-to-point invalidation messages are sent to every
+remote copy, acknowledged back to the requester.
+
+The directory here is kept *precise*: caches notify it on replacement,
+so ``DIRTY`` always means the owner's secondary cache really holds the
+line dirty, and ``sharers`` is exactly the set of caches holding it.
+This precision is checked by the coherence invariant tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+class DirState(enum.IntEnum):
+    UNOWNED = 0   # memory at the home node has the only valid copy
+    SHARED = 1    # one or more caches hold clean copies
+    DIRTY = 2     # exactly one cache holds a modified copy
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory record for one memory line."""
+
+    state: DirState = DirState.UNOWNED
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+
+    def check(self) -> None:
+        if self.state == DirState.UNOWNED:
+            assert not self.sharers and self.owner is None
+        elif self.state == DirState.SHARED:
+            assert self.sharers and self.owner is None
+        else:
+            assert self.owner is not None and not self.sharers
+
+
+class Directory:
+    """The directory slice stored at one home node."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, line: int) -> DirectoryEntry:
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line] = entry
+        return entry
+
+    def known_lines(self):
+        return list(self._entries)
+
+    def drop_sharer(self, line: int, node: int) -> None:
+        """Replacement hint: ``node`` evicted its clean copy of ``line``."""
+        entry = self._entries.get(line)
+        if entry is None:
+            return
+        entry.sharers.discard(node)
+        if entry.state == DirState.SHARED and not entry.sharers:
+            entry.state = DirState.UNOWNED
+
+    def writeback(self, line: int, node: int) -> None:
+        """Owner ``node`` wrote the dirty line back and dropped it."""
+        entry = self._entries.get(line)
+        if entry is None:
+            return
+        if entry.state == DirState.DIRTY and entry.owner == node:
+            entry.state = DirState.UNOWNED
+            entry.owner = None
+            entry.sharers.clear()

@@ -1,0 +1,477 @@
+"""The invalidating directory-based coherence protocol.
+
+This module implements the DASH-style protocol at the transaction level:
+each memory operation is resolved *atomically* at its issue time — the
+directory and all cache arrays are updated immediately, and the data
+arrival / retirement time is computed from the Table 1 base latency plus
+the queuing delay accumulated on the buses, links, and controllers along
+the transaction's path.  Conflicting transactions are serialized by the
+event calendar, which is behaviourally equivalent to serialization at the
+home node (what DASH's directory controllers do).
+
+Latency classification follows Table 1:
+
+* reads — primary hit / secondary fill / local node / home node
+  (home != local) / remote node (dirty third party);
+* writes — owned by secondary / by local node / in home node / in remote
+  node, where the reported time is the *retire* time (exclusive ownership)
+  and invalidation acknowledgements complete later.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.caches import DirectMappedCache, LineState
+from repro.coherence.directory import Directory, DirState
+from repro.config import MachineConfig
+from repro.interconnect import Interconnect
+from repro.memlayout import SharedMemoryAllocator
+
+
+class AccessClass(enum.Enum):
+    """Where in the hierarchy an access was serviced (for statistics)."""
+
+    PRIMARY_HIT = "primary_hit"
+    SECONDARY_HIT = "secondary_hit"
+    LOCAL = "local"
+    HOME = "home"
+    REMOTE = "remote"
+    UNCACHED_LOCAL = "uncached_local"
+    UNCACHED_REMOTE = "uncached_remote"
+
+
+class AccessOutcome(NamedTuple):
+    """Result of one protocol transaction.
+
+    ``retire`` is when the issuing unit may proceed (data arrival for
+    reads, exclusive ownership for writes).  ``complete`` additionally
+    waits for invalidation acknowledgements (equals ``retire`` when no
+    invalidations were needed); release fences gate on ``complete``.
+    """
+
+    retire: int
+    complete: int
+    access_class: AccessClass
+
+
+@dataclass
+class ProtocolStats:
+    """Aggregate protocol event counters."""
+
+    reads_by_class: dict = field(default_factory=dict)
+    writes_by_class: dict = field(default_factory=dict)
+    invalidations_sent: int = 0
+    ownership_transfers: int = 0
+    #: Writes that found the line present in the secondary cache (the
+    #: paper's shared-write hit-rate metric counts presence, even when
+    #: an ownership upgrade is still required).
+    writes_line_present: int = 0
+    writes_total: int = 0
+    sharing_writebacks: int = 0
+    eviction_writebacks: int = 0
+    prefetches_issued: int = 0
+    prefetch_upgrades: int = 0
+    prefetch_fills_by_class: dict = field(default_factory=dict)
+
+    def count_prefetch(self, access_class: AccessClass) -> None:
+        self.prefetch_fills_by_class[access_class] = (
+            self.prefetch_fills_by_class.get(access_class, 0) + 1
+        )
+
+    def count_read(self, access_class: AccessClass) -> None:
+        self.reads_by_class[access_class] = (
+            self.reads_by_class.get(access_class, 0) + 1
+        )
+
+    def count_write(self, access_class: AccessClass) -> None:
+        self.writes_by_class[access_class] = (
+            self.writes_by_class.get(access_class, 0) + 1
+        )
+
+
+@dataclass
+class NodeCaches:
+    """The two cache levels of one node, as seen by the protocol."""
+
+    primary: DirectMappedCache
+    secondary: DirectMappedCache
+
+
+class CoherenceProtocol:
+    """Transaction engine over the directories, caches, and interconnect."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        allocator: SharedMemoryAllocator,
+        caches: List[NodeCaches],
+        directories: List[Directory],
+        interconnect: Interconnect,
+    ) -> None:
+        self.config = config
+        self.allocator = allocator
+        self.caches = caches
+        self.directories = directories
+        self.net = interconnect
+        self.stats = ProtocolStats()
+        self._line_bytes = config.line_bytes
+
+    # -- helpers -----------------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr - (addr % self._line_bytes)
+
+    def home_of(self, line: int) -> int:
+        return self.allocator.home_of(line)
+
+    def _install_primary(self, node: int, line: int) -> None:
+        # Primary evictions are silent: the cache is write-through, so a
+        # clean copy can always be dropped without directory action.
+        self.caches[node].primary.insert(line, LineState.SHARED)
+
+    def _install_secondary(
+        self, node: int, line: int, state: LineState, time: int
+    ) -> None:
+        victim = self.caches[node].secondary.insert(line, state)
+        if victim is not None:
+            self._evict(node, victim, time)
+
+    def _evict(self, node: int, victim: Tuple[int, LineState], time: int) -> None:
+        victim_line, victim_state = victim
+        # Inclusion: dropping a secondary line drops any primary copy.
+        self.caches[node].primary.invalidate(victim_line)
+        home = self.home_of(victim_line)
+        if victim_state == LineState.DIRTY:
+            # Write the dirty line back to home memory (fire-and-forget:
+            # the write-back buffer hides its latency from the evicting
+            # access, but the bandwidth is charged).
+            self.net.charge_bus(node, time, data=True, background=True)
+            if home != node:
+                self.net.charge_hop(node, home, time, data=True, background=True)
+            self.net.charge_memory(home, time, background=True)
+            self.directories[home].writeback(victim_line, node)
+            self.stats.eviction_writebacks += 1
+        else:
+            # Replacement hint keeps the directory precise; modelled free.
+            self.directories[home].drop_sharer(victim_line, node)
+
+    # -- cached reads --------------------------------------------------------
+
+    def read(self, node: int, addr: int, time: int) -> AccessOutcome:
+        """Service a processor read at ``time``; returns data arrival."""
+        line = self.line_of(addr)
+        lat = self.config.latency
+        caches = self.caches[node]
+        if caches.primary.lookup(line) != LineState.INVALID:
+            outcome = AccessOutcome(
+                time + lat.read_primary_hit,
+                time + lat.read_primary_hit,
+                AccessClass.PRIMARY_HIT,
+            )
+            self.stats.count_read(outcome.access_class)
+            return outcome
+        if caches.secondary.lookup(line) != LineState.INVALID:
+            self._install_primary(node, line)
+            arrival = time + lat.read_fill_secondary
+            self.stats.count_read(AccessClass.SECONDARY_HIT)
+            return AccessOutcome(arrival, arrival, AccessClass.SECONDARY_HIT)
+        outcome = self._read_fill(node, line, time)
+        self.stats.count_read(outcome.access_class)
+        return outcome
+
+    def _read_fill(self, node: int, line: int, time: int) -> AccessOutcome:
+        """Secondary miss: fetch the line, classify per Table 1."""
+        lat = self.config.latency
+        home = self.home_of(line)
+        entry = self.directories[home].entry(line)
+
+        if entry.state == DirState.DIRTY and entry.owner != node:
+            owner = entry.owner
+            delay = self.net.charge_bus(node, time, data=False)
+            if home == node:
+                # Local home, dirty at a remote owner: two traversals.
+                base = lat.read_fill_home
+                delay += self.net.charge_directory(home, time + delay)
+                delay += self.net.charge_hop(node, owner, time + delay, data=False)
+                delay += self.net.charge_bus(owner, time + delay, data=True)
+                delay += self.net.charge_hop(owner, node, time + delay, data=True)
+                access_class = AccessClass.HOME
+            elif owner == home:
+                # Dirty copy sits in the home node's own cache.
+                base = lat.read_fill_home
+                delay += self.net.charge_hop(node, home, time + delay, data=False)
+                delay += self.net.charge_directory(home, time + delay)
+                delay += self.net.charge_bus(home, time + delay, data=True)
+                delay += self.net.charge_hop(home, node, time + delay, data=True)
+                access_class = AccessClass.HOME
+            else:
+                # Three-party transaction: local -> home -> owner -> local.
+                base = lat.read_fill_remote
+                delay += self.net.charge_hop(node, home, time + delay, data=False)
+                delay += self.net.charge_directory(home, time + delay)
+                delay += self.net.charge_hop(home, owner, time + delay, data=False)
+                delay += self.net.charge_bus(owner, time + delay, data=True)
+                delay += self.net.charge_hop(owner, node, time + delay, data=True)
+                access_class = AccessClass.REMOTE
+            # Owner downgrades to SHARED; home memory refreshed (sharing
+            # writeback — bandwidth charged, latency hidden).
+            if self.caches[owner].secondary.probe(line) == LineState.DIRTY:
+                self.caches[owner].secondary.set_state(line, LineState.SHARED)
+            if owner != home:
+                self.net.charge_hop(owner, home, time + delay, data=True)
+            self.net.charge_memory(home, time + delay)
+            self.stats.sharing_writebacks += 1
+            entry.state = DirState.SHARED
+            entry.sharers = {owner, node}
+            entry.owner = None
+        else:
+            if home == node:
+                base = lat.read_fill_local
+                delay = self.net.charge_bus(node, time, data=True)
+                delay += self.net.charge_memory(home, time + delay)
+                access_class = AccessClass.LOCAL
+            else:
+                base = lat.read_fill_home
+                delay = self.net.charge_bus(node, time, data=False)
+                delay += self.net.charge_hop(node, home, time + delay, data=False)
+                delay += self.net.charge_directory(home, time + delay)
+                delay += self.net.charge_memory(home, time + delay)
+                delay += self.net.charge_hop(home, node, time + delay, data=True)
+                delay += self.net.charge_bus(node, time + delay, data=True)
+                access_class = AccessClass.HOME
+            if entry.state == DirState.UNOWNED:
+                entry.state = DirState.SHARED
+            entry.sharers.add(node)
+
+        self._install_secondary(node, line, LineState.SHARED, time)
+        self._install_primary(node, line)
+        arrival = time + base + delay
+        return AccessOutcome(arrival, arrival, access_class)
+
+    # -- cached writes ---------------------------------------------------------
+
+    def write(
+        self, node: int, addr: int, time: int, background: bool = False
+    ) -> AccessOutcome:
+        """Acquire exclusive ownership of the line containing ``addr``.
+
+        ``retire`` is the ownership-acquired time (write-buffer retire);
+        ``complete`` additionally covers invalidation acknowledgements.
+        """
+        line = self.line_of(addr)
+        lat = self.config.latency
+        caches = self.caches[node]
+        state = caches.secondary.lookup(line)
+        self.stats.writes_total += 1
+        if state != LineState.INVALID:
+            self.stats.writes_line_present += 1
+
+        if state == LineState.DIRTY:
+            # Write-through primary: refresh the primary copy if present.
+            if caches.primary.probe(line) != LineState.INVALID:
+                caches.primary.insert(line, LineState.SHARED)
+            retire = time + lat.write_owned_secondary
+            self.stats.count_write(AccessClass.SECONDARY_HIT)
+            return AccessOutcome(retire, retire, AccessClass.SECONDARY_HIT)
+
+        outcome = self._acquire_ownership(
+            node, line, time, had_shared=state, background=background
+        )
+        self.stats.count_write(outcome.access_class)
+        if caches.primary.probe(line) != LineState.INVALID:
+            caches.primary.insert(line, LineState.SHARED)
+        return outcome
+
+    def _acquire_ownership(
+        self,
+        node: int,
+        line: int,
+        time: int,
+        had_shared: LineState,
+        background: bool = False,
+    ) -> AccessOutcome:
+        lat = self.config.latency
+        home = self.home_of(line)
+        entry = self.directories[home].entry(line)
+        ack_extra = 0
+
+        if entry.state == DirState.DIRTY and entry.owner != node:
+            owner = entry.owner
+            self.stats.ownership_transfers += 1
+            delay = self.net.charge_bus(node, time, data=False, background=background)
+            if owner == home or home == node:
+                base = lat.write_owned_home
+                via = home if home != node else owner
+                delay += self.net.charge_hop(node, via, time + delay, data=False, background=background)
+                delay += self.net.charge_directory(home, time + delay, background=background)
+                delay += self.net.charge_bus(owner, time + delay, data=True, background=background)
+                delay += self.net.charge_hop(owner, node, time + delay, data=True, background=background)
+            else:
+                base = lat.write_owned_remote
+                delay += self.net.charge_hop(node, home, time + delay, data=False, background=background)
+                delay += self.net.charge_directory(home, time + delay, background=background)
+                delay += self.net.charge_hop(home, owner, time + delay, data=False, background=background)
+                delay += self.net.charge_bus(owner, time + delay, data=True, background=background)
+                delay += self.net.charge_hop(owner, node, time + delay, data=True, background=background)
+            access_class = (
+                AccessClass.REMOTE if base == lat.write_owned_remote else AccessClass.HOME
+            )
+            # The previous owner's copies are invalidated by the transfer.
+            self.caches[owner].secondary.invalidate(line)
+            self.caches[owner].primary.invalidate(line)
+            self.stats.invalidations_sent += 1
+        else:
+            sharers = entry.sharers - {node}
+            if home == node:
+                base = lat.write_owned_local
+                delay = self.net.charge_bus(node, time, data=True, background=background)
+                delay += self.net.charge_directory(home, time + delay, background=background)
+                delay += self.net.charge_memory(home, time + delay, background=background)
+                access_class = AccessClass.LOCAL
+            else:
+                base = lat.write_owned_home
+                delay = self.net.charge_bus(node, time, data=False, background=background)
+                delay += self.net.charge_hop(node, home, time + delay, data=False, background=background)
+                delay += self.net.charge_directory(home, time + delay, background=background)
+                delay += self.net.charge_memory(home, time + delay, background=background)
+                delay += self.net.charge_hop(home, node, time + delay, data=True, background=background)
+                delay += self.net.charge_bus(node, time + delay, data=True, background=background)
+                access_class = AccessClass.HOME
+            # Point-to-point invalidations to every other sharer; the
+            # requester retires at ownership, acknowledgements trail.
+            for sharer in sorted(sharers):
+                self.caches[sharer].secondary.invalidate(line)
+                self.caches[sharer].primary.invalidate(line)
+                self.net.charge_hop(home, sharer, time + delay, data=False, background=background)
+                self.net.charge_hop(sharer, node, time + delay, data=False, background=background)
+                self.stats.invalidations_sent += 1
+                ack_time = (
+                    lat.invalidation_ack_local
+                    if sharer == home == node
+                    else lat.invalidation_ack_remote
+                )
+                ack_extra = max(ack_extra, ack_time)
+
+        entry.state = DirState.DIRTY
+        entry.owner = node
+        entry.sharers = set()
+
+        if had_shared == LineState.INVALID:
+            self._install_secondary(node, line, LineState.DIRTY, time)
+        else:
+            self.caches[node].secondary.set_state(line, LineState.DIRTY)
+
+        retire = time + base + delay
+        return AccessOutcome(retire, retire + ack_extra, access_class)
+
+    # -- prefetches ------------------------------------------------------------
+
+    def prefetch(
+        self, node: int, addr: int, exclusive: bool, time: int
+    ) -> Optional[AccessOutcome]:
+        """Fetch a line ahead of use (non-binding, Section 5.1).
+
+        Returns None when the secondary cache already satisfies the
+        prefetch (it is discarded); otherwise behaves like a read fill or
+        ownership acquisition and fills *both* cache levels on return.
+        """
+        line = self.line_of(addr)
+        state = self.caches[node].secondary.probe(line)
+        if state == LineState.DIRTY or (state == LineState.SHARED and not exclusive):
+            return None
+        self.stats.prefetches_issued += 1
+        if exclusive:
+            if state == LineState.SHARED:
+                self.stats.prefetch_upgrades += 1
+            outcome = self._acquire_ownership(node, line, time, had_shared=state)
+        else:
+            outcome = self._read_fill(node, line, time)
+        self.stats.count_prefetch(outcome.access_class)
+        # Prefetch responses are placed in both caches (Section 5.1).
+        self._install_primary(node, line)
+        return outcome
+
+    # -- uncached accesses ---------------------------------------------------
+
+    def read_uncached(self, node: int, addr: int, time: int) -> AccessOutcome:
+        """Shared read with shared-data caching disabled (Section 3).
+
+        The latency is the corresponding memory latency minus the fill
+        overhead (five to ten cycles less than Table 1).
+        """
+        line = self.line_of(addr)
+        lat = self.config.latency
+        home = self.home_of(line)
+        if home == node:
+            base = lat.read_fill_local - lat.uncached_discount
+            delay = self.net.charge_bus(node, time, data=True)
+            delay += self.net.charge_memory(home, time + delay)
+            access_class = AccessClass.UNCACHED_LOCAL
+        else:
+            base = lat.read_fill_home - lat.uncached_discount
+            delay = self.net.charge_bus(node, time, data=False)
+            delay += self.net.charge_hop(node, home, time + delay, data=False)
+            delay += self.net.charge_memory(home, time + delay)
+            delay += self.net.charge_hop(home, node, time + delay, data=True)
+            access_class = AccessClass.UNCACHED_REMOTE
+        arrival = time + base + delay
+        self.stats.count_read(access_class)
+        return AccessOutcome(arrival, arrival, access_class)
+
+    def write_uncached(
+        self, node: int, addr: int, time: int, background: bool = False
+    ) -> AccessOutcome:
+        line = self.line_of(addr)
+        lat = self.config.latency
+        home = self.home_of(line)
+        if home == node:
+            base = lat.write_owned_local - lat.uncached_discount
+            delay = self.net.charge_bus(node, time, data=True, background=background)
+            delay += self.net.charge_memory(home, time + delay, background=background)
+            access_class = AccessClass.UNCACHED_LOCAL
+        else:
+            base = lat.write_owned_home - lat.uncached_discount
+            delay = self.net.charge_bus(node, time, data=True, background=background)
+            delay += self.net.charge_hop(node, home, time + delay, data=True, background=background)
+            delay += self.net.charge_memory(home, time + delay, background=background)
+            access_class = AccessClass.UNCACHED_REMOTE
+        retire = time + base + delay
+        self.stats.count_write(access_class)
+        return AccessOutcome(retire, retire, access_class)
+
+    # -- invariants (used by tests) --------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert global coherence invariants over all state."""
+        num_nodes = len(self.caches)
+        dirty_holders = {}
+        sharers_seen = {}
+        for node in range(num_nodes):
+            for line, state in self.caches[node].secondary.resident_lines():
+                if state == LineState.DIRTY:
+                    assert line not in dirty_holders, (
+                        f"two dirty copies of line {line:#x}"
+                    )
+                    dirty_holders[line] = node
+                sharers_seen.setdefault(line, set()).add(node)
+            for line, _state in self.caches[node].primary.resident_lines():
+                assert (
+                    self.caches[node].secondary.probe(line) != LineState.INVALID
+                ), f"primary/secondary inclusion violated for line {line:#x}"
+        for home in range(num_nodes):
+            for line in self.directories[home].known_lines():
+                entry = self.directories[home].entry(line)
+                holders = sharers_seen.get(line, set())
+                if entry.state == DirState.DIRTY:
+                    assert dirty_holders.get(line) == entry.owner
+                    assert holders == {entry.owner}
+                elif entry.state == DirState.SHARED:
+                    assert line not in dirty_holders
+                    assert holders == entry.sharers
+                else:
+                    assert not holders, (
+                        f"line {line:#x} UNOWNED but cached by {holders}"
+                    )

@@ -1,0 +1,23 @@
+"""Machine configuration (architecture parameters, Table 1 latencies)."""
+
+from repro.config.machine import (
+    CacheGeometry,
+    Consistency,
+    ContentionConfig,
+    LatencyTable,
+    MachineConfig,
+    PlacementPolicy,
+    dash_full_config,
+    dash_scaled_config,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "Consistency",
+    "ContentionConfig",
+    "LatencyTable",
+    "MachineConfig",
+    "PlacementPolicy",
+    "dash_full_config",
+    "dash_scaled_config",
+]

@@ -1,0 +1,5 @@
+"""Memory consistency models: sequential (SC) and release (RC)."""
+
+from repro.consistency.model import ConsistencyPolicy, policy_for
+
+__all__ = ["ConsistencyPolicy", "policy_for"]

@@ -1,0 +1,81 @@
+"""Memory consistency models (Section 4).
+
+Four models are implemented.  The paper evaluates the two endpoints and
+observes that the intermediate models "fall between sequential and
+release consistency models in terms of flexibility":
+
+* **Sequential consistency (SC)** — each access issues only after the
+  previous one completes.  The processor already stalls on reads; under
+  SC it additionally stalls on every write until the write completes
+  with respect to all processors.
+
+* **Processor consistency (PC)** — writes from one processor must be
+  observed in issue order, which the FIFO write buffer provides, but no
+  fences are required at synchronization points: the processor never
+  stalls for prior writes.
+
+* **Weak consistency (WC)** — ordinary accesses between synchronization
+  points may be buffered and pipelined, but *every* synchronization
+  operation is a two-way fence: it may not issue until all prior
+  accesses complete, and later accesses wait for it.
+
+* **Release consistency (RC)** — synchronization accesses are classified
+  as *acquires* (lock, flag wait, barrier entry) and *releases* (unlock,
+  flag set, barrier arrival).  Only a release must wait for prior
+  accesses to complete (including invalidation acknowledgements);
+  acquires issue immediately.
+
+Reads are blocking under all models: the processors studied stall on
+reads and do not overlap read misses with later computation (Section
+4.1), which is exactly why prefetching and multiple contexts have read
+latency left to hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Consistency
+
+_BUFFERED = (Consistency.PC, Consistency.WC, Consistency.RC)
+
+
+@dataclass(frozen=True)
+class ConsistencyPolicy:
+    """Behavioural switches derived from the consistency model."""
+
+    model: Consistency
+
+    @property
+    def write_stalls_processor(self) -> bool:
+        """SC: the processor stalls until each write completes."""
+        return self.model is Consistency.SC
+
+    @property
+    def writes_buffered(self) -> bool:
+        """PC/WC/RC: writes retire from the write buffer asynchronously."""
+        return self.model in _BUFFERED
+
+    @property
+    def reads_bypass_writes(self) -> bool:
+        """PC/WC/RC: reads may bypass buffered writes (same-line
+        references forward from the buffer)."""
+        return self.model in _BUFFERED
+
+    @property
+    def release_requires_completion(self) -> bool:
+        """WC/RC: releases gate on completion (incl. acks) of prior
+        writes.  PC requires only FIFO write order, which the write
+        buffer provides without stalling; under SC every write already
+        completed before the release executes."""
+        return self.model in (Consistency.WC, Consistency.RC)
+
+    @property
+    def acquire_requires_completion(self) -> bool:
+        """WC only: synchronization is a two-way fence, so an acquire
+        may not issue while earlier writes are outstanding."""
+        return self.model is Consistency.WC
+
+
+def policy_for(model: Consistency) -> ConsistencyPolicy:
+    return ConsistencyPolicy(model)

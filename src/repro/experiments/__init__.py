@@ -1,0 +1,56 @@
+"""Experiment harness: regenerators for every table and figure."""
+
+from repro.experiments.breakdown import (
+    Bar,
+    MULTI_COMPONENTS,
+    SINGLE_COMPONENTS,
+    multi_context_components,
+    normalize,
+    single_context_components,
+)
+from repro.experiments.figures import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    summary_speedups,
+)
+from repro.experiments.registry import (
+    APP_NAMES,
+    ExperimentRunner,
+    app_config,
+    build_app,
+)
+from repro.experiments.report import format_bars, format_table
+from repro.experiments.tables import (
+    LatencyProbe,
+    Table2Row,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "Bar",
+    "ExperimentRunner",
+    "LatencyProbe",
+    "MULTI_COMPONENTS",
+    "SINGLE_COMPONENTS",
+    "Table2Row",
+    "app_config",
+    "build_app",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "format_bars",
+    "format_table",
+    "multi_context_components",
+    "normalize",
+    "single_context_components",
+    "summary_speedups",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,99 @@
+"""Composing simulation results into the paper's figure components.
+
+The paper's figures stack normalized execution-time components:
+
+* Figures 2-4 (single-context bars): busy / read miss / write miss /
+  synchronization (+ prefetch overhead in Figure 4).
+* Figures 5-6 (multiple-context bars): busy / switching / all idle /
+  no switch (+ prefetch overhead in Figure 6).
+
+All bars of one figure are normalized to the figure's baseline bar
+(= 100).  Components are computed from the processor-summed bucket
+counts, so a component's value is its share of machine time, matching
+the paper's normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.processor.accounting import Bucket
+from repro.system.results import SimulationResult
+
+#: Component display order for single-context figures (Figures 2-4).
+SINGLE_COMPONENTS = ("busy", "read", "write", "sync", "pf_overhead")
+#: Component display order for multiple-context figures (Figures 5-6).
+MULTI_COMPONENTS = ("busy", "switch", "all_idle", "no_switch", "pf_overhead")
+
+
+@dataclass
+class Bar:
+    """One normalized stacked bar of a figure."""
+
+    label: str
+    components: Dict[str, float]
+    total: float
+    execution_time: int
+    result: Optional[SimulationResult] = field(default=None, repr=False)
+
+    def component(self, name: str) -> float:
+        return self.components.get(name, 0.0)
+
+
+def single_context_components(result: SimulationResult) -> Dict[str, int]:
+    """Raw cycle counts for the Figure 2-4 component stack."""
+    agg = result.aggregate
+    return {
+        "busy": agg[Bucket.BUSY],
+        "read": agg[Bucket.READ_STALL],
+        "write": agg[Bucket.WRITE_STALL],
+        "sync": agg[Bucket.SYNC_STALL] + agg[Bucket.ALL_IDLE],
+        "pf_overhead": agg[Bucket.PREFETCH_OVERHEAD]
+        + agg[Bucket.NO_SWITCH]
+        + agg[Bucket.SWITCH],
+    }
+
+
+def multi_context_components(result: SimulationResult) -> Dict[str, int]:
+    """Raw cycle counts for the Figure 5-6 component stack."""
+    agg = result.aggregate
+    return {
+        "busy": agg[Bucket.BUSY],
+        "switch": agg[Bucket.SWITCH],
+        "all_idle": agg[Bucket.READ_STALL]
+        + agg[Bucket.WRITE_STALL]
+        + agg[Bucket.SYNC_STALL]
+        + agg[Bucket.ALL_IDLE],
+        "no_switch": agg[Bucket.NO_SWITCH],
+        "pf_overhead": agg[Bucket.PREFETCH_OVERHEAD],
+    }
+
+
+def normalize(
+    results: List[SimulationResult],
+    labels: List[str],
+    baseline: SimulationResult,
+    multi_context: bool = False,
+) -> List[Bar]:
+    """Build the figure's bars, normalized so the baseline totals 100."""
+    compose = multi_context_components if multi_context else single_context_components
+    base_total = sum(compose(baseline).values())
+    if base_total <= 0:
+        raise ValueError("baseline run has no accounted time")
+    bars = []
+    for label, result in zip(labels, results):
+        raw = compose(result)
+        components = {
+            name: 100.0 * cycles / base_total for name, cycles in raw.items()
+        }
+        bars.append(
+            Bar(
+                label=label,
+                components=components,
+                total=sum(components.values()),
+                execution_time=result.execution_time,
+                result=result,
+            )
+        )
+    return bars

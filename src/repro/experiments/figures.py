@@ -1,0 +1,131 @@
+"""Regenerators for Figures 2-6 of the paper.
+
+Each ``figure*`` function runs the required machine configurations for
+all three applications through an :class:`ExperimentRunner` and returns
+a ``{app: [Bar, ...]}`` mapping, normalized exactly as the paper's
+stacked bars are: to the figure's own baseline bar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.config import Consistency, MachineConfig, dash_scaled_config
+from repro.experiments.breakdown import Bar, normalize
+from repro.experiments.registry import APP_NAMES, ExperimentRunner
+
+
+def _sc(**kw) -> MachineConfig:
+    return dash_scaled_config(consistency=Consistency.SC, **kw)
+
+
+def _rc(**kw) -> MachineConfig:
+    return dash_scaled_config(consistency=Consistency.RC, **kw)
+
+
+def figure2(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
+    """Effect of caching shared data (SC, normalized to no-cache)."""
+    bars: Dict[str, List[Bar]] = {}
+    for app in APP_NAMES:
+        no_cache = runner.run(app, _sc(caching_shared_data=False))
+        cached = runner.run(app, _sc())
+        bars[app] = normalize(
+            [no_cache, cached], ["no_cache", "cache"], baseline=no_cache
+        )
+    return bars
+
+
+def figure3(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
+    """Effect of relaxing the consistency model (normalized to SC)."""
+    bars: Dict[str, List[Bar]] = {}
+    for app in APP_NAMES:
+        sc = runner.run(app, _sc())
+        rc = runner.run(app, _rc())
+        bars[app] = normalize([sc, rc], ["SC", "RC"], baseline=sc)
+    return bars
+
+
+def figure4(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
+    """Effect of prefetching under SC and RC (normalized to SC)."""
+    bars: Dict[str, List[Bar]] = {}
+    for app in APP_NAMES:
+        sc = runner.run(app, _sc())
+        sc_pf = runner.run(app, _sc(), prefetching=True)
+        rc = runner.run(app, _rc())
+        rc_pf = runner.run(app, _rc(), prefetching=True)
+        bars[app] = normalize(
+            [sc, sc_pf, rc, rc_pf],
+            ["SC", "SC+pf", "RC", "RC+pf"],
+            baseline=sc,
+        )
+    return bars
+
+
+def figure5(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
+    """Effect of multiple contexts under SC, switch overheads 16 and 4
+    (normalized to a single context)."""
+    bars: Dict[str, List[Bar]] = {}
+    for app in APP_NAMES:
+        single = runner.run(app, _sc())
+        runs = [single]
+        labels = ["1ctx"]
+        for switch in (16, 4):
+            for contexts in (2, 4):
+                config = _sc(
+                    contexts_per_processor=contexts,
+                    context_switch_cycles=switch,
+                )
+                runs.append(runner.run(app, config))
+                labels.append(f"{contexts}ctx sw{switch}")
+        bars[app] = normalize(runs, labels, baseline=single, multi_context=True)
+    return bars
+
+
+def figure6(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
+    """Combining the schemes: {SC, RC, RC+prefetch} x {1, 2, 4 contexts}
+    with a 4-cycle switch (normalized to SC single-context)."""
+    bars: Dict[str, List[Bar]] = {}
+    for app in APP_NAMES:
+        runs = []
+        labels = []
+        for model_label, factory, prefetching in (
+            ("SC", _sc, False),
+            ("RC", _rc, False),
+            ("RC+pf", _rc, True),
+        ):
+            for contexts in (1, 2, 4):
+                config = factory(
+                    contexts_per_processor=contexts,
+                    context_switch_cycles=4,
+                )
+                runs.append(runner.run(app, config, prefetching=prefetching))
+                labels.append(f"{model_label} {contexts}ctx")
+        bars[app] = normalize(runs, labels, baseline=runs[0], multi_context=True)
+    return bars
+
+
+def summary_speedups(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:
+    """The paper's headline numbers (Section 7): per-technique speedups
+    and the best combination relative to the *uncached* baseline."""
+    out: Dict[str, Dict[str, float]] = {}
+    for app in APP_NAMES:
+        no_cache = runner.run(app, _sc(caching_shared_data=False))
+        sc = runner.run(app, _sc())
+        rc = runner.run(app, _rc())
+        rc_pf = runner.run(app, _rc(), prefetching=True)
+        best_time = min(
+            runner.run(
+                app,
+                _rc(contexts_per_processor=contexts, context_switch_cycles=4),
+                prefetching=prefetching,
+            ).execution_time
+            for contexts in (1, 2, 4)
+            for prefetching in (False, True)
+        )
+        out[app] = {
+            "cache_over_uncached": no_cache.execution_time / sc.execution_time,
+            "rc_over_sc": sc.execution_time / rc.execution_time,
+            "rc_pf_over_sc": sc.execution_time / rc_pf.execution_time,
+            "combined_over_uncached": no_cache.execution_time / best_time,
+        }
+    return out

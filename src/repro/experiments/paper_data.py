@@ -1,0 +1,140 @@
+"""The paper's published numbers, for side-by-side comparison.
+
+Values are read off the stacked-bar figures (normalized execution time,
+baseline = 100) and the tables of the paper.  Where a figure prints the
+bar total, that total is recorded; component stacks are recorded where
+legible.  These are reference points for EXPERIMENTS.md — the
+reproduction is judged on *shape* (who wins, roughly by how much, where
+the crossovers are), not on absolute agreement.
+"""
+
+# Figure 2 — caching shared data (normalized to no-cache = 100).
+FIGURE2_TOTALS = {
+    "MP3D": {"no_cache": 100.0, "cache": 45.2},
+    "LU": {"no_cache": 100.0, "cache": 36.6},
+    "PTHOR": {"no_cache": 100.0, "cache": 44.8},
+}
+
+# Shared-data cache hit rates with scaled caches (Section 3).
+HIT_RATES = {
+    "MP3D": {"read": 0.80, "write": 0.75},
+    "LU": {"read": 0.66, "write": 0.97},
+    "PTHOR": {"read": 0.77, "write": 0.47},
+}
+
+# Figure 3 — SC vs RC (normalized to cached SC = 100).
+FIGURE3_TOTALS = {
+    "MP3D": {"SC": 100.0, "RC": 64.8},
+    "LU": {"SC": 100.0, "RC": 92.4},
+    "PTHOR": {"SC": 100.0, "RC": 72.2},
+}
+
+# Figure 4 — prefetching (normalized to SC without prefetching = 100).
+FIGURE4_TOTALS = {
+    "MP3D": {"SC": 100.0, "SC+pf": 62.4, "RC": 64.8, "RC+pf": 44.0},
+    "LU": {"SC": 100.0, "SC+pf": 87.0, "RC": 92.4, "RC+pf": 61.5},
+    "PTHOR": {"SC": 100.0, "SC+pf": 64.3, "RC": 72.2, "RC+pf": 49.0},
+}
+
+# Prefetch coverage factors (Section 5.2).
+COVERAGE = {"MP3D": 0.87, "LU": 0.89, "PTHOR": 0.56}
+
+# Figure 5 — multiple contexts under SC (normalized to 1 context = 100).
+FIGURE5_TOTALS = {
+    "MP3D": {
+        "1ctx": 100.0,
+        "2ctx sw16": 83.1,
+        "4ctx sw16": 62.3,
+        "2ctx sw4": 60.2,
+        "4ctx sw4": 44.7,
+    },
+    "LU": {
+        "1ctx": 100.0,
+        "2ctx sw16": 119.9,
+        "4ctx sw16": 141.4,
+        "2ctx sw4": 87.5,
+        "4ctx sw4": 84.1,
+    },
+    "PTHOR": {
+        "1ctx": 100.0,
+        "2ctx sw16": 95.9,
+        "4ctx sw16": 120.4,
+        "2ctx sw4": 92.3,
+        "4ctx sw4": 94.7,
+    },
+}
+
+# Figure 6 — combining the schemes (switch latency 4; normalized to
+# SC single-context = 100).
+FIGURE6_TOTALS = {
+    "MP3D": {
+        "SC 1ctx": 100.0,
+        "SC 2ctx": 60.2,
+        "SC 4ctx": 44.7,
+        "RC 1ctx": 64.8,
+        "RC 2ctx": 47.9,
+        "RC 4ctx": 33.8,
+        "RC+pf 1ctx": 44.0,
+        "RC+pf 2ctx": 42.6,
+        "RC+pf 4ctx": 36.5,
+    },
+    "LU": {
+        "SC 1ctx": 100.0,
+        "SC 2ctx": 87.5,
+        "SC 4ctx": 84.1,
+        "RC 1ctx": 92.5,
+        "RC 2ctx": 66.5,
+        "RC 4ctx": 58.0,
+        "RC+pf 1ctx": 60.6,
+        "RC+pf 2ctx": 64.7,
+        "RC+pf 4ctx": 64.3,
+    },
+    "PTHOR": {
+        "SC 1ctx": 100.0,
+        "SC 2ctx": 92.3,
+        "SC 4ctx": 94.7,
+        "RC 1ctx": 78.3,
+        "RC 2ctx": 75.3,
+        "RC 4ctx": 72.2,
+        "RC+pf 1ctx": 57.4,
+        "RC+pf 2ctx": 61.5,
+        "RC+pf 4ctx": 64.6,
+    },
+}
+
+# Table 2 — general statistics (at the paper's full workload scale).
+TABLE2 = {
+    "MP3D": {
+        "useful_kcycles": 5_774,
+        "shared_reads_k": 1_170,
+        "shared_writes_k": 530,
+        "locks": 0,
+        "barriers": 448,
+        "shared_kbytes": 401,
+    },
+    "LU": {
+        "useful_kcycles": 27_861,
+        "shared_reads_k": 5_543,
+        "shared_writes_k": 2_727,
+        "locks": 3_184,
+        "barriers": 29,
+        "shared_kbytes": 653,
+    },
+    "PTHOR": {
+        "useful_kcycles": 19_031,
+        "shared_reads_k": 3_774,
+        "shared_writes_k": 454,
+        "locks": 75_878,
+        "barriers": 2_016,
+        "shared_kbytes": 2_925,
+    },
+}
+
+# Headline speedups quoted in the text.
+TEXT_SPEEDUPS = {
+    "cache": {"MP3D": 2.2, "LU": 2.7, "PTHOR": 2.2},  # 2.2-2.7x range
+    "rc_over_sc": {"MP3D": 1.5, "LU": 1.1, "PTHOR": 1.4},
+    "rc_pf_over_sc": {"MP3D": 2.3, "LU": 1.6, "PTHOR": 1.6},
+    "mc4_sw4_over_sc": {"MP3D": 3.0, "LU": 1.7, "PTHOR": 1.3},
+    "combined_best": {"low": 4.0, "high": 7.0},
+}

@@ -1,0 +1,96 @@
+"""Application registry and cached experiment runner.
+
+The figure regenerators share many machine configurations (e.g. the
+cached-SC single-context run is the baseline of Figures 3-6), so runs
+are memoized per (app, scale, prefetching, machine-config) within a
+:class:`ExperimentRunner`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.apps.lu import LUConfig, lu_program
+from repro.apps.lu import bench_scale as lu_bench, paper_scale as lu_paper
+from repro.apps.mp3d import MP3DConfig, mp3d_program
+from repro.apps.mp3d import bench_scale as mp3d_bench, paper_scale as mp3d_paper
+from repro.apps.pthor import PTHORConfig, pthor_program
+from repro.apps.pthor import bench_scale as pthor_bench, paper_scale as pthor_paper
+from repro.config import MachineConfig, dash_scaled_config
+from repro.system import SimulationResult, run_program
+from repro.tango import Program
+
+APP_NAMES = ("MP3D", "LU", "PTHOR")
+
+_BUILDERS: Dict[str, Callable[..., Program]] = {
+    "MP3D": lambda config, prefetching: mp3d_program(config, prefetching=prefetching),
+    "LU": lambda config, prefetching: lu_program(config, prefetching=prefetching),
+    "PTHOR": lambda config, prefetching: pthor_program(config, prefetching=prefetching),
+}
+
+_SCALES: Dict[str, Dict[str, Callable[[], object]]] = {
+    "MP3D": {"default": MP3DConfig, "paper": mp3d_paper, "bench": mp3d_bench},
+    "LU": {"default": LUConfig, "paper": lu_paper, "bench": lu_bench},
+    "PTHOR": {"default": PTHORConfig, "paper": pthor_paper, "bench": pthor_bench},
+}
+
+
+def app_config(app: str, scale: str = "default"):
+    """The application config object for a named scale."""
+    try:
+        return _SCALES[app][scale]()
+    except KeyError:
+        raise KeyError(f"unknown app/scale {app!r}/{scale!r}") from None
+
+
+def build_app(app: str, scale: str = "default", prefetching: bool = False) -> Program:
+    """Build one of the paper's benchmarks by name."""
+    return _BUILDERS[app](app_config(app, scale), prefetching)
+
+
+@dataclass
+class RunRecord:
+    result: SimulationResult
+    wall_seconds: float
+
+
+class ExperimentRunner:
+    """Runs (app, machine-config) pairs with memoization."""
+
+    def __init__(self, scale: str = "default", verbose: bool = False) -> None:
+        self.scale = scale
+        self.verbose = verbose
+        self._cache: Dict[Tuple, RunRecord] = {}
+
+    def _key(self, app: str, prefetching: bool, config: MachineConfig) -> Tuple:
+        return (app, self.scale, prefetching, config)
+
+    def run(
+        self,
+        app: str,
+        config: Optional[MachineConfig] = None,
+        prefetching: bool = False,
+    ) -> SimulationResult:
+        config = config or dash_scaled_config()
+        key = self._key(app, prefetching, config)
+        record = self._cache.get(key)
+        if record is None:
+            program = build_app(app, self.scale, prefetching)
+            start = time.perf_counter()
+            result = run_program(program, config)
+            record = RunRecord(result, time.perf_counter() - start)
+            self._cache[key] = record
+            if self.verbose:
+                print(
+                    f"  [run] {app} pf={prefetching} "
+                    f"ctx={config.contexts_per_processor} "
+                    f"{config.consistency.value} cache={config.caching_shared_data} "
+                    f"-> T={result.execution_time} ({record.wall_seconds:.1f}s)"
+                )
+        return record.result
+
+    @property
+    def runs_performed(self) -> int:
+        return len(self._cache)

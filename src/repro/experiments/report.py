@@ -1,0 +1,79 @@
+"""ASCII rendering of figure and table reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.breakdown import (
+    Bar,
+    MULTI_COMPONENTS,
+    SINGLE_COMPONENTS,
+)
+
+_COMPONENT_TITLES = {
+    "busy": "Busy",
+    "read": "Read",
+    "write": "Write",
+    "sync": "Sync",
+    "pf_overhead": "PF-ovh",
+    "switch": "Switch",
+    "all_idle": "AllIdle",
+    "no_switch": "NoSw",
+}
+
+
+def format_bars(
+    title: str,
+    bars_by_app: Dict[str, List[Bar]],
+    paper_totals: Optional[Dict[str, Dict[str, float]]] = None,
+    multi_context: bool = False,
+) -> str:
+    """Render one figure: per app, one row per bar with its component
+    stack, the bar total, and the paper's bar total for comparison."""
+    components = MULTI_COMPONENTS if multi_context else SINGLE_COMPONENTS
+    lines = [title, "=" * len(title)]
+    header = (
+        f"{'bar':<16}"
+        + "".join(f"{_COMPONENT_TITLES[c]:>9}" for c in components)
+        + f"{'Total':>9}{'Paper':>9}"
+    )
+    for app, bars in bars_by_app.items():
+        lines.append(f"\n{app}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for bar in bars:
+            paper = ""
+            if paper_totals and app in paper_totals:
+                value = paper_totals[app].get(bar.label)
+                if value is not None:
+                    paper = f"{value:9.1f}"
+            row = (
+                f"{bar.label:<16}"
+                + "".join(f"{bar.component(c):9.1f}" for c in components)
+                + f"{bar.total:9.1f}"
+                + (paper or f"{'--':>9}")
+            )
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+) -> str:
+    """Render a simple aligned table."""
+    widths = [len(str(h)) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        rendered_rows.append(rendered)
+        widths = [max(w, len(c)) for w, c in zip(widths, rendered)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(rendered, widths)))
+    return "\n".join(lines)

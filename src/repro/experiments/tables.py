@@ -1,0 +1,157 @@
+"""Regenerators for Tables 1 and 2 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import ContentionConfig, MachineConfig, dash_scaled_config
+from repro.experiments.registry import APP_NAMES, ExperimentRunner
+from repro.system import Machine
+
+
+@dataclass
+class LatencyProbe:
+    operation: str
+    expected: int
+    measured: int
+
+    @property
+    def matches(self) -> bool:
+        return self.expected == self.measured
+
+
+def _probe_machine():
+    """A quiet 4-node machine with contention disabled, plus one
+    node-local region per node so homes can be chosen exactly."""
+    config = dash_scaled_config(
+        num_processors=4,
+        contention=ContentionConfig(enabled=False),
+    )
+    machine = Machine(config)
+    regions = {
+        node: machine.allocator.alloc_local(f"probe.{node}", 4096, node)
+        for node in range(4)
+    }
+    return machine, regions
+
+
+def table1(config: MachineConfig = None) -> List[LatencyProbe]:
+    """Measure the Table 1 latencies on an unloaded machine.
+
+    Each probe sets up the exact ownership scenario of one table row and
+    measures the protocol's uncontended service time.
+    """
+    machine, regions = _probe_machine()
+    protocol = machine.protocol
+    lat = machine.config.latency
+
+    probes: List[LatencyProbe] = []
+    time = 0
+    slot = 0
+
+    def next_addr(home: int) -> int:
+        nonlocal slot
+        slot += 1
+        return regions[home].addr(slot * 16)
+
+    # --- reads -----------------------------------------------------------
+    addr = next_addr(0)
+    protocol.read(0, addr, time)  # warm both levels
+    outcome = protocol.read(0, addr, time)
+    probes.append(
+        LatencyProbe("read: hit in primary cache", lat.read_primary_hit,
+                     outcome.retire - time)
+    )
+
+    addr = next_addr(0)
+    protocol.write(0, addr, time)  # write miss fills secondary only
+    outcome = protocol.read(0, addr, time)
+    probes.append(
+        LatencyProbe("read: fill from secondary cache", lat.read_fill_secondary,
+                     outcome.retire - time)
+    )
+
+    addr = next_addr(0)  # home == local, clean in memory
+    outcome = protocol.read(0, addr, time)
+    probes.append(
+        LatencyProbe("read: fill from local node", lat.read_fill_local,
+                     outcome.retire - time)
+    )
+
+    addr = next_addr(1)  # home != local, clean at home
+    outcome = protocol.read(0, addr, time)
+    probes.append(
+        LatencyProbe("read: fill from home node", lat.read_fill_home,
+                     outcome.retire - time)
+    )
+
+    addr = next_addr(2)  # home = node2, dirty at node1, read by node0
+    protocol.write(1, addr, time)
+    outcome = protocol.read(0, addr, time)
+    probes.append(
+        LatencyProbe("read: fill from remote node", lat.read_fill_remote,
+                     outcome.retire - time)
+    )
+
+    # --- writes ----------------------------------------------------------
+    addr = next_addr(0)
+    protocol.write(0, addr, time)  # now owned dirty
+    outcome = protocol.write(0, addr, time)
+    probes.append(
+        LatencyProbe("write: owned by secondary cache", lat.write_owned_secondary,
+                     outcome.retire - time)
+    )
+
+    addr = next_addr(0)  # home == local, unowned
+    outcome = protocol.write(0, addr, time)
+    probes.append(
+        LatencyProbe("write: owned by local node", lat.write_owned_local,
+                     outcome.retire - time)
+    )
+
+    addr = next_addr(1)  # home != local, clean at home
+    outcome = protocol.write(0, addr, time)
+    probes.append(
+        LatencyProbe("write: owned in home node", lat.write_owned_home,
+                     outcome.retire - time)
+    )
+
+    addr = next_addr(2)  # home = node2, dirty at node1, written by node0
+    protocol.write(1, addr, time)
+    outcome = protocol.write(0, addr, time)
+    probes.append(
+        LatencyProbe("write: owned in remote node", lat.write_owned_remote,
+                     outcome.retire - time)
+    )
+    return probes
+
+
+@dataclass
+class Table2Row:
+    app: str
+    useful_kcycles: float
+    shared_reads_k: float
+    shared_writes_k: float
+    locks: int
+    barriers: int
+    shared_kbytes: float
+
+
+def table2(runner: ExperimentRunner) -> List[Table2Row]:
+    """General statistics for the benchmarks (cached, SC, 16 procs)."""
+    rows = []
+    for app in APP_NAMES:
+        result = runner.run(app, dash_scaled_config())
+        rows.append(
+            Table2Row(
+                app=app,
+                useful_kcycles=result.busy_cycles / 1_000,
+                shared_reads_k=result.shared_reads / 1_000,
+                shared_writes_k=result.shared_writes / 1_000,
+                locks=result.sync.locks_total,
+                barriers=result.sync.barrier_crossings,
+                shared_kbytes=result.shared_data_bytes / 1_024,
+            )
+        )
+    return rows

@@ -1,0 +1,5 @@
+"""Node bus and network link contention model."""
+
+from repro.interconnect.network import Interconnect, NodeLinks
+
+__all__ = ["Interconnect", "NodeLinks"]

@@ -1,0 +1,20 @@
+"""Shared-memory layout: address helpers, regions, page placement."""
+
+from repro.memlayout.address import (
+    align_up,
+    line_index,
+    line_of,
+    lines_spanned,
+    page_of,
+)
+from repro.memlayout.allocator import Region, SharedMemoryAllocator
+
+__all__ = [
+    "Region",
+    "SharedMemoryAllocator",
+    "align_up",
+    "line_index",
+    "line_of",
+    "lines_spanned",
+    "page_of",
+]

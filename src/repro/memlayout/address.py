@@ -1,0 +1,40 @@
+"""Address arithmetic helpers.
+
+Simulated shared addresses are plain nonnegative integers.  A *line* is
+the coherence unit (16 bytes in the paper); a *page* is the placement
+unit that the round-robin allocator distributes across nodes.
+"""
+
+from __future__ import annotations
+
+
+def line_of(addr: int, line_bytes: int) -> int:
+    """Line-aligned base address containing ``addr``."""
+    return addr - (addr % line_bytes)
+
+
+def line_index(addr: int, line_bytes: int) -> int:
+    """Ordinal index of the line containing ``addr``."""
+    return addr // line_bytes
+
+def page_of(addr: int, page_bytes: int) -> int:
+    """Ordinal index of the page containing ``addr``."""
+    return addr // page_bytes
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    remainder = value % alignment
+    if remainder:
+        return value + alignment - remainder
+    return value
+
+
+def lines_spanned(addr: int, size: int, line_bytes: int) -> range:
+    """Line-aligned base addresses of every line touched by
+    ``[addr, addr + size)``."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    first = line_of(addr, line_bytes)
+    last = line_of(addr + size - 1, line_bytes)
+    return range(first, last + line_bytes, line_bytes)

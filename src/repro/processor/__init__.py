@@ -1,0 +1,7 @@
+"""Multiple-context processor model and time accounting."""
+
+from repro.processor.accounting import Bucket, TimeBreakdown
+from repro.processor.context import Context, ContextState
+from repro.processor.processor import Processor
+
+__all__ = ["Bucket", "Context", "ContextState", "Processor", "TimeBreakdown"]

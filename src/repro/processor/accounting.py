@@ -1,0 +1,77 @@
+"""Processor time accounting.
+
+Every pclock of a processor's existence lands in exactly one bucket;
+the experiment reports compose buckets into the stacked components of
+the paper's figures:
+
+* Figures 2-4 (single context): busy / read miss / write miss /
+  synchronization / prefetch overhead.
+* Figures 5-6 (multiple contexts): busy / switching / all idle /
+  no switch / prefetch overhead, where "all idle" is the time all
+  contexts were blocked and "no switch" is idle time too short (or
+  unprofitable) to switch away, e.g. secondary-cache write hits under SC
+  and primary-cache fill lockouts.
+
+The partition invariant (sum of buckets == elapsed time) is enforced in
+tests for every simulation run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class Bucket(enum.Enum):
+    BUSY = "busy"
+    READ_STALL = "read_stall"
+    WRITE_STALL = "write_stall"
+    SYNC_STALL = "sync_stall"
+    PREFETCH_OVERHEAD = "prefetch_overhead"
+    SWITCH = "switch"
+    ALL_IDLE = "all_idle"
+    NO_SWITCH = "no_switch"
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-processor cycle accounting."""
+
+    cycles: Dict[Bucket, int] = field(
+        default_factory=lambda: {bucket: 0 for bucket in Bucket}
+    )
+
+    def add(self, bucket: Bucket, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative time {cycles} for {bucket}")
+        self.cycles[bucket] += cycles
+
+    def __getitem__(self, bucket: Bucket) -> int:
+        return self.cycles[bucket]
+
+    @property
+    def total(self) -> int:
+        return sum(self.cycles.values())
+
+    @property
+    def busy(self) -> int:
+        return self.cycles[Bucket.BUSY]
+
+    def merged(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        result = TimeBreakdown()
+        for bucket in Bucket:
+            result.cycles[bucket] = self.cycles[bucket] + other.cycles[bucket]
+        return result
+
+    def idle_total(self) -> int:
+        """All blocked time, however attributed (for MC 'all idle')."""
+        return (
+            self.cycles[Bucket.READ_STALL]
+            + self.cycles[Bucket.WRITE_STALL]
+            + self.cycles[Bucket.SYNC_STALL]
+            + self.cycles[Bucket.ALL_IDLE]
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {bucket.value: count for bucket, count in self.cycles.items()}

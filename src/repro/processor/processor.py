@@ -1,0 +1,335 @@
+"""The multiple-context processor model.
+
+Each processor executes its resident contexts' operation streams,
+charging every pclock to an accounting bucket.  Reads are blocking
+(Section 4.1).  With multiple contexts, a long-latency operation (a
+stall of at least ``switch_min_stall_cycles``) triggers a context switch
+costing ``context_switch_cycles``; shorter stalls are taken in place and
+accounted as "no switch" idle.  When every context is blocked the
+processor sits "all idle" until the earliest known wake-up, or parks
+until a synchronization grant arrives.
+
+The execution loop is *inline-first*: between shared accesses the
+processor runs ahead on busy cycles without touching the event calendar,
+and it resumes its thread generator only when no other event in the
+system could fire earlier (``engine.peek_time() >= self.time``), which
+preserves a correct interleaving of accesses exactly as the
+Tango-coupled simulator of the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.config import MachineConfig
+from repro.consistency import ConsistencyPolicy
+from repro.processor.accounting import Bucket, TimeBreakdown
+from repro.processor.context import Context, ContextState
+from repro.sim.engine import EventEngine
+from repro.sync import BarrierManager, FlagManager, LockManager
+from repro.tango import ops as O
+
+if TYPE_CHECKING:  # avoid a circular import with repro.system
+    from repro.system.memiface import NodeMemoryInterface
+
+
+class Processor:
+    """One processing node's CPU with ``contexts_per_processor`` contexts."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        config: MachineConfig,
+        node_id: int,
+        memiface: "NodeMemoryInterface",
+        policy: ConsistencyPolicy,
+        locks: LockManager,
+        flags: FlagManager,
+        barriers: BarrierManager,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.node_id = node_id
+        self.memiface = memiface
+        self.policy = policy
+        self.locks = locks
+        self.flags = flags
+        self.barriers = barriers
+
+        self.contexts: List[Context] = []
+        self.time = 0
+        self.breakdown = TimeBreakdown()
+        self.finished = False
+        self.finish_time: Optional[int] = None
+
+        self._active = 0
+        self._last_dispatched: Optional[int] = None
+        self._live_count = 0
+        self._wake_gen = 0
+        self._parked = False
+
+        self._switch_cycles = config.context_switch_cycles
+        self._switch_threshold = config.switch_min_stall_cycles
+        self._multi = config.contexts_per_processor > 1
+        self._fill_stall = config.prefetch_fill_stall
+
+        # Operation counters (Table 2 and coverage statistics).
+        self.shared_reads = 0
+        self.shared_writes = 0
+        self.prefetches = 0
+        self.lock_ops = 0
+        self.flag_waits = 0
+        self.barrier_crossings = 0
+        self.prefetch_partial_hits = 0
+        self.context_switches = 0
+        # Run-length statistics: busy cycles executed between successive
+        # long-latency operations (the paper quotes median run lengths
+        # of 11/6/7 cycles for MP3D/LU/PTHOR under cached SC).
+        self.run_lengths: List[int] = []
+        self._current_run = 0
+
+    # -- setup -----------------------------------------------------------
+
+    def attach(self, context: Context) -> None:
+        self.contexts.append(context)
+        self._live_count += 1
+
+    def start(self) -> None:
+        if not self.contexts:
+            raise RuntimeError(f"processor {self.node_id} has no contexts")
+        self._schedule_continue(0)
+
+    # -- scheduling plumbing -----------------------------------------------
+
+    def _schedule_continue(self, at: int) -> None:
+        self._wake_gen += 1
+        gen = self._wake_gen
+
+        def fire() -> None:
+            if gen == self._wake_gen:
+                self._loop()
+
+        self.engine.schedule(at, fire)
+
+    def _advance(self, cycles: int, bucket: Bucket) -> None:
+        if cycles:
+            self.breakdown.add(bucket, cycles)
+            self.time += cycles
+            if bucket is Bucket.BUSY:
+                self._current_run += cycles
+
+    # -- the execution loop ----------------------------------------------------
+
+    def _loop(self) -> None:
+        engine = self.engine
+        while True:
+            ctx = self._ensure_running()
+            if ctx is None:
+                return  # parked, rescheduled, or finished
+            if engine.peek_time() < self.time:
+                self._schedule_continue(self.time)
+                return
+            fills = self.memiface.consume_fill_stalls(self.time)
+            if fills:
+                bucket = Bucket.NO_SWITCH if self._multi else Bucket.PREFETCH_OVERHEAD
+                self._advance(fills * self._fill_stall, bucket)
+            op = ctx.next_op()
+            if op is None:
+                ctx.state = ContextState.DONE
+                self._live_count -= 1
+                if self._live_count == 0:
+                    self.finished = True
+                    self.finish_time = self.time
+                    return
+                continue
+            code = op[0]
+            if code == O.BUSY:
+                self._advance(op[1], Bucket.BUSY)
+            elif code == O.READ:
+                self._op_read(ctx, op[1])
+            elif code == O.WRITE:
+                self._op_write(ctx, op[1])
+            elif code == O.PREFETCH:
+                self._op_prefetch(op[1], op[2])
+            elif code == O.LOCK:
+                self._op_lock(ctx, op[1])
+            elif code == O.UNLOCK:
+                self._op_unlock(ctx, op[1])
+            elif code == O.FLAG_WAIT:
+                self._op_flag_wait(ctx, op[1])
+            elif code == O.FLAG_SET:
+                self._op_flag_set(ctx, op[1])
+            elif code == O.BARRIER:
+                self._op_barrier(ctx, op[1], op[2])
+            else:
+                raise ValueError(f"unknown opcode {code}")
+
+    def _ensure_running(self) -> Optional[Context]:
+        """Return a RUNNING context at self.time, idling/switching as
+        needed; None if the processor parked, rescheduled, or finished."""
+        while True:
+            active = self.contexts[self._active]
+            if active.state == ContextState.RUNNING:
+                return active
+
+            chosen = self._pick_ready()
+            if chosen is not None:
+                if (
+                    self._last_dispatched is not None
+                    and chosen.index != self._last_dispatched
+                ):
+                    self._advance(self._switch_cycles, Bucket.SWITCH)
+                    self.context_switches += 1
+                self._active = chosen.index
+                self._last_dispatched = chosen.index
+                chosen.state = ContextState.RUNNING
+                return chosen
+
+            # Nothing runnable now.  Find the earliest known wake time.
+            wake = None
+            for ctx in self.contexts:
+                if ctx.state == ContextState.BLOCKED:
+                    if wake is None or ctx.ready_time < wake:
+                        wake = ctx.ready_time
+            if wake is None:
+                if self._live_count == 0:
+                    self.finished = True
+                    self.finish_time = self.time
+                    return None
+                # All live contexts await synchronization grants.
+                self._parked = True
+                return None
+            # Idle straight to the earliest known wake-up.  A grant
+            # arriving inside the window resumes at `wake` (its callback
+            # clamps to self.time) — a bounded skew of at most one miss
+            # latency, which keeps the scheduler free of same-time
+            # event ping-pong between idle processors.
+            self._advance(wake - self.time, self._idle_bucket())
+
+    def _idle_bucket(self) -> Bucket:
+        if self._multi:
+            return Bucket.ALL_IDLE
+        # Single context: attribute the wait to the blocking cause.
+        return self.contexts[self._active].block_cause
+
+    def _pick_ready(self) -> Optional[Context]:
+        """Round-robin scan for a runnable context, starting after the
+        most recently dispatched one."""
+        n = len(self.contexts)
+        start = (self._active + 1) % n if self._last_dispatched is not None else 0
+        for offset in range(n):
+            ctx = self.contexts[(start + offset) % n]
+            if ctx.state == ContextState.READY:
+                return ctx
+            if ctx.state == ContextState.BLOCKED and ctx.ready_time <= self.time:
+                return ctx
+        return None
+
+    # -- stall handling ----------------------------------------------------------
+
+    def _stall_or_switch(self, ctx: Context, ready: int, cause: Bucket) -> None:
+        stall = ready - self.time
+        if stall <= 0:
+            return
+        if stall >= self._switch_threshold:
+            # A long-latency operation ends the current run.
+            self.run_lengths.append(self._current_run)
+            self._current_run = 0
+        if not self._multi:
+            self._advance(stall, cause)
+            return
+        if stall < self._switch_threshold:
+            self._advance(stall, Bucket.NO_SWITCH)
+            return
+        ctx.block_until(ready, cause, self.time)
+        if cause == Bucket.READ_STALL:
+            # The returning fill will lock the processor out of the
+            # primary cache while another context runs.
+            self.memiface.note_fill_arrival(ready)
+
+    # -- operations --------------------------------------------------------------
+
+    def _op_read(self, ctx: Context, addr: int) -> None:
+        self.shared_reads += 1
+        result = self.memiface.read(addr, self.time)
+        if result.combined_with_prefetch:
+            self.prefetch_partial_hits += 1
+        self._advance(1, Bucket.BUSY)
+        self._stall_or_switch(ctx, result.ready, Bucket.READ_STALL)
+
+    def _op_write(self, ctx: Context, addr: int) -> None:
+        self.shared_writes += 1
+        result = self.memiface.write(addr, self.time)
+        self._advance(1, Bucket.BUSY)
+        self._stall_or_switch(ctx, result.proceed, Bucket.WRITE_STALL)
+
+    def _op_prefetch(self, addr: int, exclusive: bool) -> None:
+        self.prefetches += 1
+        result = self.memiface.prefetch(addr, exclusive, self.time)
+        self._advance(
+            self.config.prefetch_issue_cycles + result.buffer_full_stall,
+            Bucket.PREFETCH_OVERHEAD,
+        )
+
+    def _acquire_fence(self, ctx: Context) -> None:
+        """WC: synchronization is a two-way fence — the acquire may not
+        issue until every earlier write has completed."""
+        if self.policy.acquire_requires_completion:
+            fence = self.memiface.release_point(self.time)
+            if fence > self.time:
+                self._advance(fence - self.time, Bucket.SYNC_STALL)
+
+    def _op_lock(self, ctx: Context, addr: int) -> None:
+        self.lock_ops += 1
+        self._acquire_fence(ctx)
+        grant = self.locks.acquire(addr, self.node_id, self.time, self._granter(ctx))
+        self._advance(1, Bucket.BUSY)
+        if grant is not None:
+            self._stall_or_switch(ctx, grant, Bucket.SYNC_STALL)
+        else:
+            ctx.block_on_sync(self.time)
+
+    def _op_unlock(self, ctx: Context, addr: int) -> None:
+        fence = max(self.memiface.release_point(self.time), self.time)
+        visible = self.locks.release(addr, self.node_id, fence)
+        self._advance(1, Bucket.BUSY)
+        if self.policy.write_stalls_processor:
+            self._stall_or_switch(ctx, visible, Bucket.SYNC_STALL)
+
+    def _op_flag_wait(self, ctx: Context, addr: int) -> None:
+        self.flag_waits += 1
+        self._acquire_fence(ctx)
+        grant = self.flags.wait(addr, self.node_id, self.time, self._granter(ctx))
+        self._advance(1, Bucket.BUSY)
+        if grant is not None:
+            self._stall_or_switch(ctx, grant, Bucket.SYNC_STALL)
+        else:
+            ctx.block_on_sync(self.time)
+
+    def _op_flag_set(self, ctx: Context, addr: int) -> None:
+        fence = max(self.memiface.release_point(self.time), self.time)
+        visible = self.flags.set(addr, self.node_id, fence)
+        self._advance(1, Bucket.BUSY)
+        if self.policy.write_stalls_processor:
+            self._stall_or_switch(ctx, visible, Bucket.SYNC_STALL)
+
+    def _op_barrier(self, ctx: Context, addr: int, participants: int) -> None:
+        self.barrier_crossings += 1
+        self._acquire_fence(ctx)
+        fence = max(self.memiface.release_point(self.time), self.time)
+        self.barriers.arrive(
+            addr, participants, self.node_id, fence, self._granter(ctx)
+        )
+        self._advance(1, Bucket.BUSY)
+        ctx.block_on_sync(self.time)
+
+    # -- synchronization grants --------------------------------------------------
+
+    def _granter(self, ctx: Context) -> Callable[[int], None]:
+        def on_grant(grant_time: int) -> None:
+            ctx.grant(max(grant_time, self.time))
+            if self._parked:
+                self._parked = False
+                self._schedule_continue(max(grant_time, self.time))
+
+        return on_grant

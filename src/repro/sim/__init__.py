@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel (event calendar and queued resources)."""
+
+from repro.sim.engine import (
+    DeadlockError,
+    EventEngine,
+    SimulationError,
+    TIME_INFINITY,
+)
+from repro.sim.resource import QueuedResource, ResourceGroup
+
+__all__ = [
+    "DeadlockError",
+    "EventEngine",
+    "QueuedResource",
+    "ResourceGroup",
+    "SimulationError",
+    "TIME_INFINITY",
+]

@@ -1,0 +1,16 @@
+"""Synchronization primitives: locks, flags (events), and barriers."""
+
+from repro.sync.barrier import BarrierManager, BarrierStats
+from repro.sync.costs import SyncCosts
+from repro.sync.flags import FlagManager, FlagStats
+from repro.sync.lock import LockManager, LockStats
+
+__all__ = [
+    "BarrierManager",
+    "BarrierStats",
+    "FlagManager",
+    "FlagStats",
+    "LockManager",
+    "LockStats",
+    "SyncCosts",
+]

@@ -1,0 +1,90 @@
+"""Flags (ANL events).
+
+A flag is a one-shot condition: a producer *sets* it (release semantics)
+and consumers *wait* for it (acquire semantics).  LU uses one flag per
+pivot column ("release any processors waiting for that column",
+Section 2.2); its waits are reported in the paper's lock column of
+Table 2 (199 columns x 16 processors = 3184), and we count them the same
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import EventEngine
+from repro.sync.costs import SyncCosts
+
+GrantCallback = Callable[[int], None]
+
+
+@dataclass
+class _FlagState:
+    set_time: Optional[int] = None
+    waiters: List[Tuple[int, GrantCallback]] = field(default_factory=list)
+
+
+@dataclass
+class FlagStats:
+    waits: int = 0
+    blocked_waits: int = 0
+    sets: int = 0
+    total_wait_cycles: int = 0
+
+
+class FlagManager:
+    """All flags in the machine, keyed by flag address."""
+
+    def __init__(self, engine: EventEngine, costs: SyncCosts) -> None:
+        self.engine = engine
+        self.costs = costs
+        self._flags: Dict[int, _FlagState] = {}
+        self.stats = FlagStats()
+
+    def _state(self, addr: int) -> _FlagState:
+        state = self._flags.get(addr)
+        if state is None:
+            state = _FlagState()
+            self._flags[addr] = state
+        return state
+
+    def wait(
+        self, addr: int, node: int, time: int, callback: GrantCallback
+    ) -> Optional[int]:
+        """Wait for the flag.  Returns the grant time if already set,
+        else None (``callback`` fires later)."""
+        flag = self._state(addr)
+        self.stats.waits += 1
+        probe_done = time + self.costs.acquire_cost(node, addr, time)
+        if flag.set_time is not None:
+            return max(probe_done, flag.set_time)
+        self.stats.blocked_waits += 1
+        flag.waiters.append((node, callback))
+        return None
+
+    def set(self, addr: int, node: int, time: int) -> int:
+        """Set the flag at ``time`` (already fenced under RC).
+
+        Wakes all waiters; returns the visibility time.
+        """
+        flag = self._state(addr)
+        self.stats.sets += 1
+        visible = time + self.costs.release_cost(node, addr, time)
+        if flag.set_time is None:
+            flag.set_time = visible
+        for waiter_node, callback in flag.waiters:
+            grant = visible + self.costs.notify_cost(addr, waiter_node, visible)
+            self.engine.schedule(grant, (lambda cb, g: lambda: cb(g))(callback, grant))
+        flag.waiters.clear()
+        return visible
+
+    def is_set(self, addr: int) -> bool:
+        return self._state(addr).set_time is not None
+
+    def reset(self, addr: int) -> None:
+        """Clear a flag for reuse (between MP3D time-step phases)."""
+        flag = self._state(addr)
+        if flag.waiters:
+            raise RuntimeError(f"resetting flag {addr:#x} with waiters")
+        flag.set_time = None

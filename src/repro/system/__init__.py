@@ -1,0 +1,20 @@
+"""Machine assembly, node memory interfaces, run loop, and results."""
+
+from repro.system.machine import Machine, run_program
+from repro.system.memiface import NodeMemoryInterface
+from repro.system.results import (
+    PrefetchSummary,
+    SimulationResult,
+    SyncSummary,
+    classify_counts,
+)
+
+__all__ = [
+    "Machine",
+    "NodeMemoryInterface",
+    "PrefetchSummary",
+    "SimulationResult",
+    "SyncSummary",
+    "classify_counts",
+    "run_program",
+]

@@ -1,0 +1,297 @@
+"""Per-node memory interface.
+
+Sits between a processor and the coherence protocol, implementing the
+processor environment of Figure 1: the read path through the two cache
+levels, the 16-entry write buffer (used under RC), the 16-entry prefetch
+buffer, and the MSHRs of the lockup-free secondary cache.
+
+Write buffering uses an *eager drain* model: the ownership transaction of
+a buffered write is evaluated at enqueue time with its future issue time,
+so the directory and caches reflect the write immediately while the
+retire/completion times carry the buffer's FIFO and pipelining
+constraints.  Under release consistency this is semantically safe — RC
+explicitly allows writes to propagate early, and only the *release* fence
+(handled via :meth:`release_point`) constrains ordering.  Under SC the
+buffer is bypassed entirely and the processor stalls to completion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, NamedTuple, Optional
+
+from repro.caches import MSHRTable, OutstandingMiss
+from repro.coherence import AccessClass, CoherenceProtocol
+from repro.config import MachineConfig
+from repro.consistency import ConsistencyPolicy
+from repro.sim.engine import EventEngine
+
+
+class ReadResult(NamedTuple):
+    ready: int
+    access_class: AccessClass
+    combined_with_prefetch: bool
+
+
+class WriteResult(NamedTuple):
+    #: Time the processor may execute its next instruction.
+    proceed: int
+    #: Cycles the processor spent stalled because the write buffer was
+    #: full (RC only; zero under SC, whose stall is ``proceed - now``).
+    buffer_full_stall: int
+    access_class: AccessClass
+
+
+class PrefetchResult(NamedTuple):
+    #: Cycles the processor stalled on a full prefetch buffer.
+    buffer_full_stall: int
+    #: True if the prefetch was dropped (line present / already in flight).
+    discarded: bool
+
+
+class NodeMemoryInterface:
+    """One node's processor-side memory port."""
+
+    def __init__(
+        self,
+        node: int,
+        config: MachineConfig,
+        policy: ConsistencyPolicy,
+        protocol: CoherenceProtocol,
+        engine: EventEngine,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.policy = policy
+        self.protocol = protocol
+        self.engine = engine
+        self.mshr = MSHRTable()
+
+        # Write buffer (eager drain): retire times of entries still
+        # occupying the buffer, newest last; values are monotone.
+        self._wb_retires: Deque[int] = deque()
+        self._wb_last_retire = 0
+        # Retire times of the last `max_outstanding` issued writes, for
+        # the in-flight pipelining cap of the lockup-free cache.
+        self._wb_inflight: Deque[int] = deque()
+        # Completion times (incl. invalidation acks) not yet reached.
+        self._wb_completions: list = []
+        # Buffered lines for read forwarding: line -> retire time.
+        self._wb_lines: Dict[int, int] = {}
+
+        # Prefetch buffer: issue times of entries still occupying it.
+        self._pf_queue: Deque[int] = deque()
+        self._pf_last_issue: Optional[int] = None
+
+        # Pending primary-cache fill arrivals that will lock the
+        # processor out for `prefetch_fill_stall` cycles each.
+        self._fill_arrivals: list = []
+
+        # Counters
+        self.write_buffer_full_stall_cycles = 0
+        self.prefetch_buffer_full_stall_cycles = 0
+        self.prefetches_discarded = 0
+        self.prefetches_sent = 0
+        self.demand_combined_with_prefetch = 0
+        self.store_forwards = 0
+
+    # -- lazy expiry helpers ------------------------------------------------
+
+    def _expire(self, now: int) -> None:
+        wb = self._wb_retires
+        while wb and wb[0] <= now:
+            wb.popleft()
+        pf = self._pf_queue
+        while pf and pf[0] <= now:
+            pf.popleft()
+        if self._wb_completions and min(self._wb_completions) <= now:
+            self._wb_completions = [t for t in self._wb_completions if t > now]
+        if self._wb_lines:
+            dead = [line for line, t in self._wb_lines.items() if t <= now]
+            for line in dead:
+                del self._wb_lines[line]
+        mshr = self.mshr
+        if len(mshr):
+            for line in mshr.outstanding_lines():
+                miss = mshr.lookup(line)
+                if miss is not None and miss.complete_time <= now:
+                    mshr.retire(line)
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, addr: int, now: int) -> ReadResult:
+        self._expire(now)
+        line = self.protocol.line_of(addr)
+
+        miss = self.mshr.lookup(line)
+        if miss is not None:
+            # Combine with the in-flight transaction (Section 5.1): the
+            # reference completes as soon as the earlier response returns.
+            self.mshr.combine(line)
+            if miss.is_prefetch:
+                self.demand_combined_with_prefetch += 1
+            ready = max(now + 1, miss.complete_time)
+            return ReadResult(ready, AccessClass.SECONDARY_HIT, miss.is_prefetch)
+
+        if self.policy.reads_bypass_writes and line in self._wb_lines:
+            # Same-line forward out of the write buffer: free.
+            self.store_forwards += 1
+            lat = self.config.latency.read_primary_hit
+            return ReadResult(now + lat, AccessClass.PRIMARY_HIT, False)
+
+        if not self.config.caching_shared_data:
+            outcome = self.protocol.read_uncached(self.node, addr, now)
+            return ReadResult(outcome.retire, outcome.access_class, False)
+
+        outcome = self.protocol.read(self.node, addr, now)
+        if outcome.access_class not in (
+            AccessClass.PRIMARY_HIT,
+            AccessClass.SECONDARY_HIT,
+        ):
+            self.mshr.add(
+                OutstandingMiss(
+                    line=line,
+                    exclusive=False,
+                    issue_time=now,
+                    complete_time=outcome.retire,
+                    is_prefetch=False,
+                )
+            )
+        return ReadResult(outcome.retire, outcome.access_class, False)
+
+    # -- writes --------------------------------------------------------------
+
+    def write(self, addr: int, now: int) -> WriteResult:
+        self._expire(now)
+        if not self.config.caching_shared_data:
+            return self._write_uncached(addr, now)
+        if self.policy.write_stalls_processor:
+            outcome = self.protocol.write(self.node, addr, now)
+            # SC: the processor stalls until the write completes with
+            # respect to all processors — ownership plus invalidation
+            # acknowledgements when other copies existed.
+            return WriteResult(outcome.complete, 0, outcome.access_class)
+        return self._write_buffered(addr, now, self.protocol.write)
+
+    def _write_uncached(self, addr: int, now: int) -> WriteResult:
+        if self.policy.write_stalls_processor:
+            outcome = self.protocol.write_uncached(self.node, addr, now)
+            return WriteResult(outcome.complete, 0, outcome.access_class)
+        return self._write_buffered(addr, now, self.protocol.write_uncached)
+
+    def _write_buffered(self, addr: int, now: int, transact) -> WriteResult:
+        """RC path: enqueue in the write buffer, drain eagerly."""
+        full_stall = 0
+        if len(self._wb_retires) >= self.config.write_buffer_depth:
+            free_at = self._wb_retires.popleft()
+            full_stall = free_at - now
+            self.write_buffer_full_stall_cycles += full_stall
+            now = free_at
+            self._expire(now)
+
+        issue = now
+        if len(self._wb_inflight) >= self.config.max_outstanding_writes:
+            issue = max(issue, self._wb_inflight.popleft())
+        while len(self._wb_inflight) >= self.config.max_outstanding_writes:
+            self._wb_inflight.popleft()
+
+        # Buffered writes drain on the background resource chain: DASH
+        # gives demand reads priority over the write buffer.
+        outcome = transact(self.node, addr, issue, background=True)
+        retire = max(outcome.retire, self._wb_last_retire)
+        self._wb_last_retire = retire
+        self._wb_retires.append(retire)
+        self._wb_inflight.append(retire)
+        complete = max(outcome.complete, retire)
+        if complete > now:
+            self._wb_completions.append(complete)
+        self._wb_lines[self.protocol.line_of(addr)] = retire
+        return WriteResult(now + 1, full_stall, outcome.access_class)
+
+    # -- releases -------------------------------------------------------------
+
+    def release_point(self, now: int) -> int:
+        """Earliest time a release may be performed: all earlier writes
+        complete, including invalidation acknowledgements (RC)."""
+        if not self.policy.release_requires_completion:
+            return now
+        self._expire(now)
+        horizon = now
+        if self._wb_completions:
+            horizon = max(horizon, max(self._wb_completions))
+        if self._wb_last_retire > horizon:
+            horizon = self._wb_last_retire
+        return horizon
+
+    # -- prefetches -------------------------------------------------------------
+
+    def prefetch(self, addr: int, exclusive: bool, now: int) -> PrefetchResult:
+        self._expire(now)
+        full_stall = 0
+        if len(self._pf_queue) >= self.config.prefetch_buffer_depth:
+            free_at = self._pf_queue.popleft()
+            full_stall = free_at - now
+            self.prefetch_buffer_full_stall_cycles += full_stall
+            now = free_at
+            self._expire(now)
+
+        line = self.protocol.line_of(addr)
+        existing = self.mshr.lookup(line)
+        if existing is not None and (existing.exclusive or not exclusive):
+            # Already in flight with sufficient permission: drop.
+            self.prefetches_discarded += 1
+            return PrefetchResult(full_stall, True)
+
+        # The prefetch occupies a buffer slot until it issues; issues are
+        # serialized through the node bus.
+        gap = self.config.contention.bus_occupancy_header
+        if self._pf_last_issue is None:
+            issue = now
+        else:
+            issue = max(now, self._pf_last_issue + gap)
+        self._pf_last_issue = issue
+        self._pf_queue.append(issue)
+
+        outcome = self.protocol.prefetch(self.node, addr, exclusive, issue)
+        if outcome is None:
+            self.prefetches_discarded += 1
+            return PrefetchResult(full_stall, True)
+
+        self.prefetches_sent += 1
+        if existing is not None:
+            # Upgrade over an in-flight shared fetch: chain completion.
+            self.mshr.retire(line)
+        self.mshr.add(
+            OutstandingMiss(
+                line=line,
+                exclusive=exclusive,
+                issue_time=issue,
+                complete_time=outcome.retire,
+                is_prefetch=True,
+            )
+        )
+        # The returning fill locks the processor out of the primary cache.
+        self._fill_arrivals.append(outcome.retire)
+        return PrefetchResult(full_stall, False)
+
+    # -- fill lockout -------------------------------------------------------------
+
+    def note_fill_arrival(self, arrival: int) -> None:
+        """Record a fill that will return while another context runs."""
+        self._fill_arrivals.append(arrival)
+
+    def consume_fill_stalls(self, now: int) -> int:
+        """Number of pending fills that have arrived by ``now``; each
+        locks the processor out of the primary cache for the fill time."""
+        if not self._fill_arrivals:
+            return 0
+        arrived = [t for t in self._fill_arrivals if t <= now]
+        if arrived:
+            self._fill_arrivals = [t for t in self._fill_arrivals if t > now]
+        return len(arrived)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def write_buffer_occupancy(self) -> int:
+        return len(self._wb_retires)

@@ -1,0 +1,6 @@
+"""Tango-style reference generation: op vocabulary and programs."""
+
+from repro.tango import ops
+from repro.tango.program import ProcessEnv, Program, ThreadGenerator
+
+__all__ = ["ProcessEnv", "Program", "ThreadGenerator", "ops"]

@@ -1,0 +1,92 @@
+"""Operation vocabulary between application threads and the simulator.
+
+Application threads are Python generators (the Tango analogue of the
+forked application processes): they carry out the *real* computation on
+Python data structures and ``yield`` operations describing their shared
+memory behaviour.  The architecture simulator consumes the stream, times
+each operation, and resumes the generator when the operation completes —
+exactly the tight coupling the paper describes ("a process doing a read
+operation is blocked until that read completes, where the latency of the
+read is determined by the architecture simulator", Section 2.3).
+
+Operations are plain tuples headed by an integer opcode — this is the
+hottest interface in the simulator, so it stays allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+# Opcodes ---------------------------------------------------------------
+
+BUSY = 0        # (BUSY, cycles)                — useful work, no shared access
+READ = 1        # (READ, addr)                  — shared read
+WRITE = 2       # (WRITE, addr)                 — shared write
+PREFETCH = 3    # (PREFETCH, addr, exclusive)   — non-binding prefetch
+LOCK = 4        # (LOCK, addr)                  — acquire
+UNLOCK = 5      # (UNLOCK, addr)                — release
+FLAG_WAIT = 6   # (FLAG_WAIT, addr)             — wait for ANL event
+FLAG_SET = 7    # (FLAG_SET, addr)              — set ANL event (release)
+BARRIER = 8     # (BARRIER, addr, participants) — global barrier
+
+OPCODE_NAMES = {
+    BUSY: "BUSY",
+    READ: "READ",
+    WRITE: "WRITE",
+    PREFETCH: "PREFETCH",
+    LOCK: "LOCK",
+    UNLOCK: "UNLOCK",
+    FLAG_WAIT: "FLAG_WAIT",
+    FLAG_SET: "FLAG_SET",
+    BARRIER: "BARRIER",
+}
+
+Op = Tuple  # ops are tuples (opcode, ...); alias for signatures
+
+
+# Constructors (thin, mostly for tests and readability in app code) -----
+
+def busy(cycles: int) -> Op:
+    return (BUSY, cycles)
+
+
+def read(addr: int) -> Op:
+    return (READ, addr)
+
+
+def write(addr: int) -> Op:
+    return (WRITE, addr)
+
+
+def prefetch(addr: int, exclusive: bool = False) -> Op:
+    return (PREFETCH, addr, exclusive)
+
+
+def lock(addr: int) -> Op:
+    return (LOCK, addr)
+
+
+def unlock(addr: int) -> Op:
+    return (UNLOCK, addr)
+
+
+def flag_wait(addr: int) -> Op:
+    return (FLAG_WAIT, addr)
+
+
+def flag_set(addr: int) -> Op:
+    return (FLAG_SET, addr)
+
+
+def barrier(addr: int, participants: int) -> Op:
+    return (BARRIER, addr, participants)
+
+
+def describe(op: Op) -> str:
+    """Human-readable rendering of an op (debugging aid)."""
+    name = OPCODE_NAMES.get(op[0], f"OP{op[0]}")
+    args = ", ".join(
+        hex(a) if isinstance(a, int) and i == 0 and op[0] != BUSY else str(a)
+        for i, a in enumerate(op[1:])
+    )
+    return f"{name}({args})"

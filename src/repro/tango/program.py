@@ -1,0 +1,65 @@
+"""Program abstraction.
+
+A :class:`Program` bundles everything the machine needs to run one
+application: a function that allocates its shared regions, and a factory
+producing one thread (generator) per process.  The machine decides how
+many processes exist (`processors x contexts`) and maps process ``i`` to
+processor ``i % P``, context ``i // P`` — so processes 0..P-1 are the
+first context of each processor and data placed "locally" by process
+``i`` lands on node ``i % P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.memlayout import SharedMemoryAllocator
+from repro.tango.ops import Op
+
+ThreadGenerator = Generator[Op, None, None]
+
+
+@dataclass
+class ProcessEnv:
+    """What a thread factory learns about its process placement."""
+
+    process_id: int
+    num_processes: int
+    node: int
+    context: int
+    num_nodes: int
+
+
+class Program:
+    """A parallel application ready to run on the simulated machine."""
+
+    def __init__(
+        self,
+        name: str,
+        setup: Callable[[SharedMemoryAllocator, int], object],
+        thread_factory: Callable[[object, ProcessEnv], ThreadGenerator],
+        prefetching: bool = False,
+    ) -> None:
+        """``setup(allocator, num_processes)`` allocates regions and
+        returns the application's shared world object; ``thread_factory
+        (world, env)`` returns the generator for one process.
+        """
+        self.name = name
+        self._setup = setup
+        self._thread_factory = thread_factory
+        self.prefetching = prefetching
+        self._world: Optional[object] = None
+
+    def build(self, allocator: SharedMemoryAllocator, num_processes: int) -> object:
+        self._world = self._setup(allocator, num_processes)
+        return self._world
+
+    @property
+    def world(self) -> object:
+        if self._world is None:
+            raise RuntimeError("Program.build() has not been called")
+        return self._world
+
+    def thread(self, env: ProcessEnv) -> ThreadGenerator:
+        return self._thread_factory(self.world, env)

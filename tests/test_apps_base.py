@@ -1,0 +1,106 @@
+"""Tests for the shared application helpers."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.apps import base
+from repro.memlayout import SharedMemoryAllocator
+from repro.tango import ops as O
+
+
+def make_region(size=4096):
+    allocator = SharedMemoryAllocator(num_nodes=2, page_bytes=512)
+    return allocator.alloc_local("r", size, 0)
+
+
+class TestRecordHelpers:
+    def test_record_lines_aligned_record(self):
+        region = make_region()
+        lines = base.record_lines(region, 0, 16)
+        assert lines == [region.base]
+
+    def test_record_lines_straddling_record(self):
+        region = make_region()
+        # 36-byte records: record 1 starts at offset 36 -> lines 32..64.
+        lines = base.record_lines(region, 1, 36)
+        assert lines[0] % 16 == 0
+        assert len(lines) == 3
+
+    def test_read_write_prefetch_record_ops(self):
+        region = make_region()
+        reads = list(base.read_record(region, 0, 32))
+        writes = list(base.write_record(region, 0, 32))
+        prefetches = list(base.prefetch_record(region, 0, 32, exclusive=True))
+        assert all(op[0] == O.READ for op in reads)
+        assert all(op[0] == O.WRITE for op in writes)
+        assert all(op[0] == O.PREFETCH and op[2] for op in prefetches)
+        assert len(reads) == len(writes) == len(prefetches) == 2
+
+    @given(
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=8, max_value=72),
+    )
+    def test_property_record_lines_cover_record(self, index, record_bytes):
+        region = make_region(size=8192)
+        lines = base.record_lines(region, index, record_bytes)
+        start = region.base + index * record_bytes
+        end = start + record_bytes - 1
+        assert lines[0] <= start
+        assert lines[-1] + 16 > end
+        assert all(line % 16 == 0 for line in lines)
+
+
+class TestPartitions:
+    def test_partition_indices_cover_exactly(self):
+        parts = [list(base.partition_indices(10, p, 3)) for p in range(3)]
+        flat = [i for part in parts for i in part]
+        assert sorted(flat) == list(range(10))
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_interleaved_indices(self):
+        assert list(base.interleaved_indices(10, 1, 4)) == [1, 5, 9]
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_property_partitions_disjoint_and_complete(self, total, parts):
+        seen = []
+        for p in range(parts):
+            seen.extend(base.partition_indices(total, p, parts))
+        assert sorted(seen) == list(range(total))
+
+
+class TestDeterministicRandom:
+    def test_same_seed_same_stream(self):
+        a = base.DeterministicRandom(7).make(3)
+        b = base.DeterministicRandom(7).make(3)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_differ(self):
+        a = base.DeterministicRandom(7).make(0)
+        b = base.DeterministicRandom(7).make(1)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestChainBusy:
+    def test_inserts_busy_every_n(self):
+        ops = [(O.READ, i * 16) for i in range(4)]
+        out = list(base.chain_busy(ops, busy_every=2, busy_cycles=7))
+        assert out == [
+            (O.READ, 0),
+            (O.READ, 16),
+            (O.BUSY, 7),
+            (O.READ, 32),
+            (O.READ, 48),
+            (O.BUSY, 7),
+        ]
+
+
+class TestPrefetchMode:
+    def test_mode_values(self):
+        assert base.PrefetchMode.OFF.value == "off"
+        assert base.prefetch_mode(True) is base.PrefetchMode.FULL
+        assert base.prefetch_mode(False) is base.PrefetchMode.OFF

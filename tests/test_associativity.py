@@ -1,0 +1,131 @@
+"""Tests for set-associative cache geometries (the ablation extension;
+the paper's machine is direct-mapped)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caches import DirectMappedCache, LineState
+from repro.config import CacheGeometry, Consistency, dash_scaled_config
+from repro.system import run_program
+
+
+def make_cache(size=256, line=16, ways=2):
+    return DirectMappedCache(
+        CacheGeometry(size_bytes=size, line_bytes=line, ways=ways)
+    )
+
+
+class TestGeometry:
+    def test_sets_and_ways(self):
+        geometry = CacheGeometry(size_bytes=256, line_bytes=16, ways=2)
+        assert geometry.num_lines == 16
+        assert geometry.num_sets == 8
+
+    def test_ways_must_divide_lines(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=256, line_bytes=16, ways=3)
+
+    def test_ways_positive(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=256, line_bytes=16, ways=0)
+
+
+class TestTwoWay:
+    def test_two_conflicting_lines_coexist(self):
+        cache = make_cache(size=256, ways=2)  # 8 sets
+        line_a, line_b = 0, 8 * 16  # same set
+        cache.insert(line_a, LineState.SHARED)
+        assert cache.insert(line_b, LineState.SHARED) is None
+        assert cache.probe(line_a) == LineState.SHARED
+        assert cache.probe(line_b) == LineState.SHARED
+
+    def test_third_line_evicts_lru(self):
+        cache = make_cache(size=256, ways=2)
+        line_a, line_b, line_c = 0, 128, 256
+        cache.insert(line_a, LineState.SHARED)
+        cache.insert(line_b, LineState.SHARED)
+        cache.lookup(line_a)  # refresh a: b becomes LRU
+        victim = cache.insert(line_c, LineState.DIRTY)
+        assert victim == (line_b, LineState.SHARED)
+        assert cache.probe(line_a) == LineState.SHARED
+
+    def test_reinsert_updates_state_without_eviction(self):
+        cache = make_cache(ways=2)
+        cache.insert(0, LineState.SHARED)
+        assert cache.insert(0, LineState.DIRTY) is None
+        assert cache.probe(0) == LineState.DIRTY
+
+    def test_invalidate_and_set_state(self):
+        cache = make_cache(ways=2)
+        cache.insert(0, LineState.SHARED)
+        cache.set_state(0, LineState.DIRTY)
+        assert cache.probe(0) == LineState.DIRTY
+        assert cache.invalidate(0)
+        assert not cache.invalidate(0)
+        with pytest.raises(KeyError):
+            cache.set_state(0, LineState.SHARED)
+
+    def test_resident_lines(self):
+        cache = make_cache(ways=2)
+        cache.insert(0, LineState.SHARED)
+        cache.insert(128, LineState.DIRTY)
+        assert dict(cache.resident_lines()) == {
+            0: LineState.SHARED,
+            128: LineState.DIRTY,
+        }
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2047), max_size=200),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_capacity_never_exceeded(self, addresses, ways):
+        cache = make_cache(size=256, ways=ways)
+        for addr in addresses:
+            line = addr - addr % 16
+            cache.lookup(line)
+            cache.insert(line, LineState.SHARED)
+        assert len(list(cache.resident_lines())) <= 16
+
+    @given(st.lists(st.integers(min_value=0, max_value=1023), max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fully_associative_matches_lru_model(self, addresses):
+        """A 16-line fully associative cache behaves like textbook LRU."""
+        cache = make_cache(size=256, ways=16)  # one set
+        lru = []
+        for addr in addresses:
+            line = addr - addr % 16
+            hit = cache.lookup(line) != LineState.INVALID
+            model_hit = line in lru
+            assert hit == model_hit
+            cache.insert(line, LineState.SHARED)
+            if line in lru:
+                lru.remove(line)
+            lru.insert(0, line)
+            del lru[16:]
+
+
+class TestEndToEnd:
+    def test_higher_associativity_reduces_interference(self):
+        """LU with multiple contexts suffers conflict interference on a
+        direct-mapped cache (Section 6.1); associativity recovers some
+        of the lost hit rate."""
+        from repro.apps import LUConfig, lu_program
+
+        def run(ways):
+            config = dash_scaled_config(
+                num_processors=4,
+                contexts_per_processor=4,
+                context_switch_cycles=4,
+                secondary_cache=CacheGeometry(size_bytes=4096, ways=ways),
+            )
+            return run_program(lu_program(LUConfig(n=24)), config)
+
+        direct = run(1)
+        associative = run(4)
+        assert associative.read_hit_rate() >= direct.read_hit_rate()
+
+    def test_paper_config_remains_direct_mapped(self):
+        config = dash_scaled_config()
+        assert config.primary_cache.ways == 1
+        assert config.secondary_cache.ways == 1

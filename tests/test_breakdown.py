@@ -1,0 +1,53 @@
+"""Tests for TimeBreakdown and the figure-component composition."""
+
+import pytest
+
+from repro.processor.accounting import Bucket, TimeBreakdown
+
+
+class TestTimeBreakdown:
+    def test_starts_empty(self):
+        breakdown = TimeBreakdown()
+        assert breakdown.total == 0
+        assert all(breakdown[bucket] == 0 for bucket in Bucket)
+
+    def test_add_accumulates(self):
+        breakdown = TimeBreakdown()
+        breakdown.add(Bucket.BUSY, 10)
+        breakdown.add(Bucket.BUSY, 5)
+        breakdown.add(Bucket.READ_STALL, 7)
+        assert breakdown[Bucket.BUSY] == 15
+        assert breakdown.total == 22
+        assert breakdown.busy == 15
+
+    def test_negative_rejected(self):
+        breakdown = TimeBreakdown()
+        with pytest.raises(ValueError):
+            breakdown.add(Bucket.BUSY, -1)
+
+    def test_merged(self):
+        a = TimeBreakdown()
+        a.add(Bucket.BUSY, 10)
+        b = TimeBreakdown()
+        b.add(Bucket.BUSY, 5)
+        b.add(Bucket.SWITCH, 3)
+        merged = a.merged(b)
+        assert merged[Bucket.BUSY] == 15
+        assert merged[Bucket.SWITCH] == 3
+        assert a[Bucket.BUSY] == 10  # originals untouched
+
+    def test_idle_total(self):
+        breakdown = TimeBreakdown()
+        breakdown.add(Bucket.READ_STALL, 1)
+        breakdown.add(Bucket.WRITE_STALL, 2)
+        breakdown.add(Bucket.SYNC_STALL, 3)
+        breakdown.add(Bucket.ALL_IDLE, 4)
+        breakdown.add(Bucket.NO_SWITCH, 100)  # not idle_total
+        assert breakdown.idle_total() == 10
+
+    def test_as_dict(self):
+        breakdown = TimeBreakdown()
+        breakdown.add(Bucket.SWITCH, 2)
+        d = breakdown.as_dict()
+        assert d["switch"] == 2
+        assert set(d) == {bucket.value for bucket in Bucket}

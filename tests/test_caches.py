@@ -1,0 +1,189 @@
+"""Unit tests for cache arrays, MSHRs, and buffers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.caches import (
+    DirectMappedCache,
+    LineState,
+    MSHRTable,
+    OutstandingMiss,
+    PrefetchBuffer,
+    PrefetchEntry,
+    WriteBuffer,
+    WriteEntry,
+)
+from repro.config import CacheGeometry
+
+
+def _cache(size=256, line=16):
+    return DirectMappedCache(CacheGeometry(size_bytes=size, line_bytes=line))
+
+
+class TestDirectMappedCache:
+    def test_miss_then_hit(self):
+        cache = _cache()
+        assert cache.lookup(0) == LineState.INVALID
+        cache.insert(0, LineState.SHARED)
+        assert cache.lookup(0) == LineState.SHARED
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_conflicting_lines_evict(self):
+        cache = _cache(size=256, line=16)  # 16 sets
+        cache.insert(0, LineState.SHARED)
+        victim = cache.insert(256, LineState.DIRTY)  # same set as 0
+        assert victim == (0, LineState.SHARED)
+        assert cache.probe(0) == LineState.INVALID
+        assert cache.probe(256) == LineState.DIRTY
+
+    def test_reinsert_same_line_is_not_eviction(self):
+        cache = _cache()
+        cache.insert(0, LineState.SHARED)
+        assert cache.insert(0, LineState.DIRTY) is None
+        assert cache.probe(0) == LineState.DIRTY
+        assert cache.evictions == 0
+
+    def test_invalidate(self):
+        cache = _cache()
+        cache.insert(32, LineState.SHARED)
+        assert cache.invalidate(32)
+        assert not cache.invalidate(32)
+        assert cache.probe(32) == LineState.INVALID
+        assert cache.invalidations_received == 1
+
+    def test_set_state_requires_residence(self):
+        cache = _cache()
+        with pytest.raises(KeyError):
+            cache.set_state(0, LineState.DIRTY)
+
+    def test_insert_invalid_rejected(self):
+        cache = _cache()
+        with pytest.raises(ValueError):
+            cache.insert(0, LineState.INVALID)
+
+    def test_probe_does_not_count(self):
+        cache = _cache()
+        cache.probe(0)
+        assert cache.accesses == 0
+
+    def test_resident_lines(self):
+        cache = _cache()
+        cache.insert(0, LineState.SHARED)
+        cache.insert(16, LineState.DIRTY)
+        assert dict(cache.resident_lines()) == {
+            0: LineState.SHARED,
+            16: LineState.DIRTY,
+        }
+
+    def test_hit_rate(self):
+        cache = _cache()
+        cache.insert(0, LineState.SHARED)
+        cache.lookup(0)
+        cache.lookup(16)
+        assert cache.hit_rate() == 0.5
+
+    @given(st.lists(st.integers(min_value=0, max_value=4096), max_size=300))
+    def test_property_lookup_matches_model(self, addresses):
+        """The direct-mapped cache behaves like a dict keyed by set index."""
+        cache = _cache(size=128, line=16)  # 8 sets
+        model = {}
+        for addr in addresses:
+            line = addr - addr % 16
+            index = (line // 16) % 8
+            expected = model.get(index) == line
+            assert (cache.lookup(line) != LineState.INVALID) == expected
+            cache.insert(line, LineState.SHARED)
+            model[index] = line
+
+
+class TestMSHR:
+    def test_add_and_retire(self):
+        table = MSHRTable()
+        miss = OutstandingMiss(0, False, 0, 50, is_prefetch=True)
+        table.add(miss)
+        assert table.lookup(0) is miss
+        assert table.retire(0) is miss
+        assert table.lookup(0) is None
+
+    def test_duplicate_line_rejected(self):
+        table = MSHRTable()
+        table.add(OutstandingMiss(0, False, 0, 50, is_prefetch=False))
+        with pytest.raises(ValueError):
+            table.add(OutstandingMiss(0, True, 1, 60, is_prefetch=False))
+
+    def test_combine_marks_and_fires_waiters(self):
+        table = MSHRTable()
+        table.add(OutstandingMiss(0, False, 0, 50, is_prefetch=True))
+        seen = []
+        table.combine(0, waiter=seen.append)
+        miss = table.retire(0)
+        assert miss.combined
+        assert seen == [50]
+        assert table.combines == 1
+
+
+class TestWriteBuffer:
+    def test_fifo_and_capacity(self):
+        buffer = WriteBuffer(depth=2, max_outstanding=2)
+        buffer.push(WriteEntry(line=0, enqueue_time=0))
+        buffer.push(WriteEntry(line=16, enqueue_time=1))
+        assert buffer.is_full
+        with pytest.raises(OverflowError):
+            buffer.push(WriteEntry(line=32, enqueue_time=2))
+
+    def test_next_issuable_respects_cap(self):
+        buffer = WriteBuffer(depth=4, max_outstanding=1)
+        a = WriteEntry(line=0, enqueue_time=0)
+        b = WriteEntry(line=16, enqueue_time=0)
+        buffer.push(a)
+        buffer.push(b)
+        assert buffer.next_issuable() is a
+        buffer.mark_issued(a)
+        assert buffer.next_issuable() is None  # cap reached
+
+    def test_release_waits_for_head_and_completions(self):
+        buffer = WriteBuffer(depth=4, max_outstanding=4)
+        release = WriteEntry(line=0, enqueue_time=0, is_release=True)
+        regular = WriteEntry(line=16, enqueue_time=0)
+        buffer.push(regular)
+        buffer.push(release)
+        assert buffer.next_issuable() is regular
+        buffer.mark_issued(regular)
+        buffer.record_inflight_completion(100)
+        buffer.retire_head()
+        assert buffer.next_issuable() is None  # acks outstanding
+        buffer.expire_completions(100)
+        assert buffer.next_issuable() is release
+
+    def test_retire_unissued_rejected(self):
+        buffer = WriteBuffer(depth=2, max_outstanding=2)
+        buffer.push(WriteEntry(line=0, enqueue_time=0))
+        with pytest.raises(RuntimeError):
+            buffer.retire_head()
+
+    def test_ack_horizon(self):
+        buffer = WriteBuffer(depth=2, max_outstanding=2)
+        buffer.record_inflight_completion(50)
+        buffer.record_inflight_completion(80)
+        assert buffer.ack_horizon() == 80
+        buffer.expire_completions(60)
+        assert buffer.ack_horizon() == 80
+        buffer.expire_completions(90)
+        assert buffer.ack_horizon() == 0
+
+
+class TestPrefetchBuffer:
+    def test_fifo(self):
+        buffer = PrefetchBuffer(depth=2)
+        buffer.push(PrefetchEntry(line=0, exclusive=False, enqueue_time=0))
+        buffer.push(PrefetchEntry(line=16, exclusive=True, enqueue_time=1))
+        assert buffer.is_full
+        with pytest.raises(OverflowError):
+            buffer.push(PrefetchEntry(line=32, exclusive=False, enqueue_time=2))
+        assert buffer.pop().line == 0
+        assert buffer.head().line == 16
+
+    def test_pop_empty_rejected(self):
+        buffer = PrefetchBuffer(depth=1)
+        with pytest.raises(IndexError):
+            buffer.pop()

@@ -1,0 +1,23 @@
+"""Tests for the command-line interface (cheap targets only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1_prints_and_succeeds(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "ok" in out
+    assert "MISMATCH" not in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure9"])
+
+
+def test_help_lists_targets():
+    with pytest.raises(SystemExit):
+        main(["--help"])

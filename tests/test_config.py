@@ -1,0 +1,112 @@
+"""Unit tests for machine configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    Consistency,
+    LatencyTable,
+    MachineConfig,
+    dash_full_config,
+    dash_scaled_config,
+)
+
+
+def test_default_config_matches_paper_parameters():
+    config = dash_scaled_config()
+    assert config.num_processors == 16
+    assert config.primary_cache.size_bytes == 2 * 1024
+    assert config.secondary_cache.size_bytes == 4 * 1024
+    assert config.line_bytes == 16
+    assert config.write_buffer_depth == 16
+    assert config.prefetch_buffer_depth == 16
+    assert config.consistency is Consistency.SC
+
+
+def test_full_config_restores_dash_cache_sizes():
+    config = dash_full_config()
+    assert config.primary_cache.size_bytes == 64 * 1024
+    assert config.secondary_cache.size_bytes == 256 * 1024
+    assert config.page_bytes == 4096
+
+
+def test_latency_table_matches_table1():
+    lat = LatencyTable()
+    assert (lat.read_primary_hit, lat.read_fill_secondary) == (1, 14)
+    assert (lat.read_fill_local, lat.read_fill_home, lat.read_fill_remote) == (
+        26,
+        72,
+        90,
+    )
+    assert (
+        lat.write_owned_secondary,
+        lat.write_owned_local,
+        lat.write_owned_home,
+        lat.write_owned_remote,
+    ) == (2, 18, 64, 82)
+
+
+def test_latency_table_rejects_disordered_reads():
+    with pytest.raises(ValueError):
+        LatencyTable(read_fill_local=100).validate()
+
+
+def test_latency_table_rejects_disordered_writes():
+    with pytest.raises(ValueError):
+        LatencyTable(write_owned_local=100).validate()
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheGeometry(size_bytes=0)
+    with pytest.raises(ValueError):
+        CacheGeometry(size_bytes=100, line_bytes=16)
+    with pytest.raises(ValueError):
+        CacheGeometry(size_bytes=96, line_bytes=12)  # not a power of two
+
+
+def test_cache_geometry_num_lines():
+    assert CacheGeometry(size_bytes=4096, line_bytes=16).num_lines == 256
+
+
+def test_config_rejects_bad_values():
+    with pytest.raises(ValueError):
+        MachineConfig(num_processors=0)
+    with pytest.raises(ValueError):
+        MachineConfig(contexts_per_processor=0)
+    with pytest.raises(ValueError):
+        MachineConfig(context_switch_cycles=-1)
+    with pytest.raises(ValueError):
+        MachineConfig(write_buffer_depth=0)
+    with pytest.raises(ValueError):
+        MachineConfig(max_outstanding_writes=0)
+
+
+def test_config_rejects_mismatched_line_sizes():
+    with pytest.raises(ValueError):
+        MachineConfig(
+            primary_cache=CacheGeometry(size_bytes=2048, line_bytes=16),
+            secondary_cache=CacheGeometry(size_bytes=4096, line_bytes=32),
+        )
+
+
+def test_replace_creates_modified_copy():
+    config = dash_scaled_config()
+    other = config.replace(num_processors=4)
+    assert other.num_processors == 4
+    assert config.num_processors == 16
+
+
+def test_total_contexts():
+    config = dash_scaled_config(contexts_per_processor=4)
+    assert config.total_contexts == 64
+
+
+def test_config_is_hashable_for_memoization():
+    a = dash_scaled_config()
+    b = dash_scaled_config()
+    assert hash(a) == hash(b)
+    assert a == b
+    assert dataclasses.asdict(a)["num_processors"] == 16

@@ -1,0 +1,77 @@
+"""Unit tests for directory state bookkeeping."""
+
+from repro.coherence import Directory, DirState
+
+
+class TestDirectoryEntries:
+    def test_entries_start_unowned(self):
+        directory = Directory(0)
+        entry = directory.entry(0x100)
+        assert entry.state == DirState.UNOWNED
+        assert not entry.sharers
+        assert entry.owner is None
+
+    def test_entry_is_stable(self):
+        directory = Directory(0)
+        assert directory.entry(0x100) is directory.entry(0x100)
+
+    def test_known_lines(self):
+        directory = Directory(0)
+        directory.entry(0x100)
+        directory.entry(0x200)
+        assert set(directory.known_lines()) == {0x100, 0x200}
+
+
+class TestReplacementHints:
+    def test_drop_last_sharer_returns_to_unowned(self):
+        directory = Directory(0)
+        entry = directory.entry(0x100)
+        entry.state = DirState.SHARED
+        entry.sharers = {3}
+        directory.drop_sharer(0x100, 3)
+        assert entry.state == DirState.UNOWNED
+
+    def test_drop_one_of_many_keeps_shared(self):
+        directory = Directory(0)
+        entry = directory.entry(0x100)
+        entry.state = DirState.SHARED
+        entry.sharers = {1, 2}
+        directory.drop_sharer(0x100, 1)
+        assert entry.state == DirState.SHARED
+        assert entry.sharers == {2}
+
+    def test_drop_unknown_line_is_noop(self):
+        directory = Directory(0)
+        directory.drop_sharer(0x999, 1)  # must not raise
+
+
+class TestWriteback:
+    def test_writeback_clears_ownership(self):
+        directory = Directory(0)
+        entry = directory.entry(0x100)
+        entry.state = DirState.DIRTY
+        entry.owner = 2
+        directory.writeback(0x100, 2)
+        assert entry.state == DirState.UNOWNED
+        assert entry.owner is None
+
+    def test_writeback_from_wrong_owner_ignored(self):
+        directory = Directory(0)
+        entry = directory.entry(0x100)
+        entry.state = DirState.DIRTY
+        entry.owner = 2
+        directory.writeback(0x100, 3)
+        assert entry.state == DirState.DIRTY
+        assert entry.owner == 2
+
+    def test_entry_check_validates_consistency(self):
+        directory = Directory(0)
+        entry = directory.entry(0x100)
+        entry.check()  # UNOWNED is consistent
+        entry.state = DirState.SHARED
+        entry.sharers = {1}
+        entry.check()
+        entry.state = DirState.DIRTY
+        entry.sharers = set()
+        entry.owner = 1
+        entry.check()

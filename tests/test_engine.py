@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import EventEngine, SimulationError, TIME_INFINITY
+
+
+def test_events_fire_in_time_order():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(30, lambda: fired.append(30))
+    engine.schedule(10, lambda: fired.append(10))
+    engine.schedule(20, lambda: fired.append(20))
+    engine.run()
+    assert fired == [10, 20, 30]
+
+
+def test_same_time_events_fire_fifo():
+    engine = EventEngine()
+    fired = []
+    for tag in range(5):
+        engine.schedule(7, lambda tag=tag: fired.append(tag))
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_now_tracks_last_fired_event():
+    engine = EventEngine()
+    seen = []
+    engine.schedule(5, lambda: seen.append(engine.now))
+    engine.schedule(9, lambda: seen.append(engine.now))
+    end = engine.run()
+    assert seen == [5, 9]
+    assert end == 9
+
+
+def test_callbacks_may_schedule_more_events():
+    engine = EventEngine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        engine.schedule(engine.now + 5, lambda: fired.append("second"))
+
+    engine.schedule(1, first)
+    engine.run()
+    assert fired == ["first", "second"]
+
+
+def test_scheduling_in_the_past_raises():
+    engine = EventEngine()
+    engine.schedule(10, lambda: engine.schedule(5, lambda: None))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_schedule_after_uses_current_time():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(10, lambda: engine.schedule_after(7, lambda: fired.append(engine.now)))
+    engine.run()
+    assert fired == [17]
+
+
+def test_peek_time_empty_is_infinity():
+    engine = EventEngine()
+    assert engine.peek_time() == TIME_INFINITY
+
+
+def test_peek_time_returns_earliest():
+    engine = EventEngine()
+    engine.schedule(42, lambda: None)
+    engine.schedule(17, lambda: None)
+    assert engine.peek_time() == 17
+
+
+def test_pending_counts_queue():
+    engine = EventEngine()
+    engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    assert engine.pending == 2
+    engine.run()
+    assert engine.pending == 0
+
+
+def test_run_until_stops_at_deadline():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(5, lambda: fired.append(5))
+    engine.schedule(15, lambda: fired.append(15))
+    engine.run_until(10)
+    assert fired == [5]
+    assert engine.now == 10
+    engine.run()
+    assert fired == [5, 15]
+
+
+def test_event_limit_guards_livelock():
+    engine = EventEngine(event_limit=10)
+
+    def rearm():
+        engine.schedule(engine.now + 1, rearm)
+
+    engine.schedule(0, rearm)
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+def test_property_pop_order_is_sorted_and_stable(times):
+    engine = EventEngine()
+    fired = []
+    for index, time in enumerate(times):
+        engine.schedule(time, lambda t=time, i=index: fired.append((t, i)))
+    engine.run()
+    assert [t for t, _ in fired] == sorted(times)
+    # FIFO among equal times: insertion indices increase within a time.
+    for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert i1 < i2

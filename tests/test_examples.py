@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples exercise the public API end to end; they are kept small
+enough that the whole file runs in well under a minute.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, monkeypatch):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+
+
+def test_quickstart(capsys, monkeypatch):
+    run_example("quickstart.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "execution time" in out
+    assert "busy" in out
+
+
+@pytest.mark.slow
+def test_latency_techniques_study(capsys, monkeypatch):
+    run_example("latency_techniques_study.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "best combination" in out
+
+
+@pytest.mark.slow
+def test_prefetch_tuning(capsys, monkeypatch):
+    run_example("prefetch_tuning.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "no prefetching" in out
+
+
+def test_custom_workload(capsys, monkeypatch):
+    run_example("custom_workload.py", monkeypatch)
+    out = capsys.readouterr().out
+    assert "pipeline" in out

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness: Table 1 exactness, breakdowns,
+registry memoization, and report formatting."""
+
+import pytest
+
+from repro.config import dash_scaled_config
+from repro.experiments import (
+    APP_NAMES,
+    ExperimentRunner,
+    app_config,
+    build_app,
+    format_bars,
+    format_table,
+    normalize,
+    table1,
+)
+from repro.experiments.breakdown import (
+    multi_context_components,
+    single_context_components,
+)
+from repro.system import run_program
+
+
+class TestTable1:
+    def test_every_latency_matches_paper_exactly(self):
+        for probe in table1():
+            assert probe.matches, (
+                f"{probe.operation}: expected {probe.expected}, "
+                f"measured {probe.measured}"
+            )
+
+    def test_probe_count_covers_all_rows(self):
+        assert len(table1()) == 9
+
+
+class TestRegistry:
+    def test_app_config_scales(self):
+        assert app_config("LU", "paper").n == 200
+        assert app_config("MP3D", "paper").num_particles == 10_000
+        assert app_config("PTHOR", "paper").num_gates == 11_000
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            app_config("SPLASH", "default")
+
+    def test_build_app_produces_program(self):
+        program = build_app("LU", "bench")
+        assert program.name == "LU"
+
+    def test_runner_memoizes(self):
+        runner = ExperimentRunner(scale="bench")
+        config = dash_scaled_config(num_processors=2)
+        first = runner.run("LU", config)
+        second = runner.run("LU", config)
+        assert first is second
+        assert runner.runs_performed == 1
+
+    def test_runner_distinguishes_prefetching(self):
+        runner = ExperimentRunner(scale="bench")
+        config = dash_scaled_config(num_processors=2)
+        a = runner.run("LU", config, prefetching=False)
+        b = runner.run("LU", config, prefetching=True)
+        assert a is not b
+        assert runner.runs_performed == 2
+
+
+class TestBreakdowns:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = dash_scaled_config(num_processors=2)
+        return run_program(build_app("LU", "bench"), config)
+
+    def test_single_components_cover_all_time(self, result):
+        components = single_context_components(result)
+        assert sum(components.values()) == result.aggregate.total
+
+    def test_multi_components_cover_all_time(self, result):
+        components = multi_context_components(result)
+        assert sum(components.values()) == result.aggregate.total
+
+    def test_normalize_baseline_is_100(self, result):
+        bars = normalize([result], ["base"], baseline=result)
+        assert bars[0].total == pytest.approx(100.0)
+
+    def test_normalize_relative_ordering(self, result):
+        bars = normalize([result, result], ["a", "b"], baseline=result)
+        assert bars[0].total == pytest.approx(bars[1].total)
+
+
+class TestReport:
+    def test_format_bars_includes_labels_and_paper(self):
+        config = dash_scaled_config(num_processors=2)
+        result = run_program(build_app("LU", "bench"), config)
+        bars = {"LU": normalize([result], ["SC"], baseline=result)}
+        text = format_bars(
+            "Figure X", bars, paper_totals={"LU": {"SC": 100.0}}
+        )
+        assert "Figure X" in text
+        assert "SC" in text
+        assert "100.0" in text
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [(1, 2.5), (30, 4.0)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        assert "30" in text
+
+    def test_app_names(self):
+        assert APP_NAMES == ("MP3D", "LU", "PTHOR")

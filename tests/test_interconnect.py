@@ -1,0 +1,69 @@
+"""Unit tests for the interconnect contention model."""
+
+from repro.config import ContentionConfig
+from repro.interconnect import Interconnect
+
+
+def make_net(enabled=True, **changes):
+    return Interconnect(4, ContentionConfig(enabled=enabled, **changes))
+
+
+class TestCharging:
+    def test_idle_resources_add_no_delay(self):
+        net = make_net()
+        assert net.charge_bus(0, 100, data=True) == 0
+        assert net.charge_hop(0, 1, 100, data=True) == 0
+        assert net.charge_directory(1, 100) == 0
+        assert net.charge_memory(1, 100) == 0
+
+    def test_back_to_back_transactions_queue(self):
+        net = make_net()
+        net.charge_bus(0, 0, data=True)   # occupies 5
+        delay = net.charge_bus(0, 0, data=True)
+        assert delay == 5
+
+    def test_header_cheaper_than_data(self):
+        net = make_net()
+        net.charge_bus(0, 0, data=False)  # occupies 2
+        assert net.charge_bus(0, 0, data=False) == 2
+
+    def test_hop_charges_both_link_ends(self):
+        net = make_net()
+        net.charge_hop(0, 1, 0, data=True)
+        # Source link-out now busy; a second hop from 0 queues there.
+        assert net.charge_hop(0, 2, 0, data=True) > 0
+        # 1's link-in busy; traffic into 1 from elsewhere queues too.
+        assert net.charge_hop(2, 1, 0, data=True) > 0
+
+    def test_disabled_contention_never_delays(self):
+        net = make_net(enabled=False)
+        for _ in range(10):
+            assert net.charge_bus(0, 0, data=True) == 0
+
+
+class TestBackgroundChain:
+    def test_background_does_not_delay_demand(self):
+        net = make_net()
+        for _ in range(10):
+            net.charge_bus(0, 0, data=True, background=True)
+        assert net.charge_bus(0, 0, data=True) == 0
+
+    def test_background_serializes_against_itself(self):
+        net = make_net()
+        net.charge_bus(0, 0, data=True, background=True)
+        assert net.charge_bus(0, 0, data=True, background=True) == 5
+
+    def test_background_resources_are_named(self):
+        net = make_net()
+        assert net.background[0].bus.name.startswith("bg.")
+
+
+class TestReporting:
+    def test_utilization_report_covers_all_nodes(self):
+        net = make_net()
+        net.charge_bus(2, 0, data=True)
+        report = net.utilization_report(100)
+        assert "node2.bus" in report
+        assert report["node2.bus"] > 0
+        assert report["node0.bus"] == 0
+        assert len(report) == 4 * 5

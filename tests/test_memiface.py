@@ -1,0 +1,166 @@
+"""Unit tests for the node memory interface (write/prefetch buffers,
+MSHR combining, consistency behaviour)."""
+
+from repro.caches import LineState
+from repro.coherence import AccessClass
+from repro.config import Consistency, ContentionConfig, dash_scaled_config
+from repro.consistency import policy_for
+from repro.system import Machine
+
+
+def make_machine(consistency=Consistency.RC, **changes):
+    config = dash_scaled_config(
+        num_processors=4,
+        consistency=consistency,
+        contention=ContentionConfig(enabled=False),
+        **changes,
+    )
+    machine = Machine(config)
+    regions = [
+        machine.allocator.alloc_local(f"r{i}", 8192, i) for i in range(4)
+    ]
+    return machine, regions
+
+
+class TestSCWrites:
+    def test_sc_write_stalls_to_completion(self):
+        machine, regions = make_machine(Consistency.SC)
+        iface = machine.memifaces[0]
+        result = iface.write(regions[0].addr(0), 0)
+        assert result.proceed == 18  # local ownership, no sharers
+
+    def test_sc_write_waits_for_acks(self):
+        machine, regions = make_machine(Consistency.SC)
+        addr = regions[0].addr(0)
+        machine.protocol.read(1, addr, 0)  # remote sharer
+        result = machine.memifaces[0].write(addr, 10)
+        lat = machine.config.latency
+        assert result.proceed == 10 + lat.write_owned_local + lat.invalidation_ack_remote
+
+
+class TestRCWrites:
+    def test_rc_write_returns_immediately(self):
+        machine, regions = make_machine(Consistency.RC)
+        result = machine.memifaces[0].write(regions[0].addr(0), 0)
+        assert result.proceed == 1
+        assert result.buffer_full_stall == 0
+
+    def test_rc_write_buffer_fills_and_stalls(self):
+        machine, regions = make_machine(
+            Consistency.RC, write_buffer_depth=2, max_outstanding_writes=1
+        )
+        iface = machine.memifaces[0]
+        # Fill the buffer with remote write misses that retire slowly.
+        for i in range(3):
+            result = iface.write(regions[1].addr(i * 16), 0)
+        assert result.buffer_full_stall > 0
+        assert iface.write_buffer_full_stall_cycles > 0
+
+    def test_release_point_covers_ack_horizon(self):
+        machine, regions = make_machine(Consistency.RC)
+        addr = regions[0].addr(0)
+        machine.protocol.read(1, addr, 0)  # remote sharer to invalidate
+        iface = machine.memifaces[0]
+        iface.write(addr, 10)
+        lat = machine.config.latency
+        fence = iface.release_point(11)
+        assert fence >= 10 + lat.write_owned_local + lat.invalidation_ack_remote
+
+    def test_release_point_is_now_once_drained(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        iface.write(regions[0].addr(0), 0)
+        assert iface.release_point(10_000) == 10_000
+
+    def test_sc_release_point_is_now(self):
+        machine, regions = make_machine(Consistency.SC)
+        assert machine.memifaces[0].release_point(55) == 55
+
+    def test_read_forwards_from_write_buffer(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        addr = regions[1].addr(0)  # remote line: slow retire
+        iface.write(addr, 0)
+        result = iface.read(addr, 1)
+        assert result.ready == 1 + machine.config.latency.read_primary_hit
+        assert iface.store_forwards == 1
+
+
+class TestPrefetchPath:
+    def test_prefetch_then_demand_read_combines(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        addr = regions[1].addr(0)
+        iface.prefetch(addr, exclusive=False, now=0)
+        result = iface.read(addr, 5)
+        assert result.combined_with_prefetch
+        assert result.ready == 72  # completes when the prefetch returns
+        assert iface.demand_combined_with_prefetch == 1
+
+    def test_prefetch_after_completion_reads_hit(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        addr = regions[1].addr(0)
+        iface.prefetch(addr, exclusive=False, now=0)
+        result = iface.read(addr, 500)  # long after arrival
+        assert result.access_class in (
+            AccessClass.PRIMARY_HIT,
+            AccessClass.SECONDARY_HIT,
+        )
+
+    def test_duplicate_prefetch_discarded(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        addr = regions[1].addr(0)
+        iface.prefetch(addr, exclusive=False, now=0)
+        result = iface.prefetch(addr, exclusive=False, now=1)
+        assert result.discarded
+        assert iface.prefetches_discarded == 1
+
+    def test_prefetch_buffer_full_stalls(self):
+        machine, regions = make_machine(Consistency.RC, prefetch_buffer_depth=2)
+        iface = machine.memifaces[0]
+        # Saturate the issue pipe so entries linger in the buffer.
+        stall = 0
+        for i in range(8):
+            result = iface.prefetch(regions[1].addr(1024 + i * 16), False, 0)
+            stall += result.buffer_full_stall
+        assert stall > 0
+
+    def test_fill_lockout_consumed_once(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        iface.prefetch(regions[1].addr(0), exclusive=False, now=0)
+        assert iface.consume_fill_stalls(1000) == 1
+        assert iface.consume_fill_stalls(1000) == 0
+
+
+class TestMSHRCombining:
+    def test_second_read_combines_with_first(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        addr = regions[1].addr(0)
+        first = iface.read(addr, 0)
+        second = iface.read(addr, 5)  # while outstanding
+        assert second.ready == first.ready
+
+    def test_mshr_expires_lazily(self):
+        machine, regions = make_machine(Consistency.RC)
+        iface = machine.memifaces[0]
+        addr = regions[1].addr(0)
+        iface.read(addr, 0)
+        iface.read(regions[0].addr(0), 10_000)  # triggers expiry
+        assert iface.mshr.lookup(iface.protocol.line_of(addr)) is None
+
+
+class TestUncachedMode:
+    def test_uncached_read_and_write(self):
+        machine, regions = make_machine(
+            Consistency.SC, caching_shared_data=False
+        )
+        iface = machine.memifaces[0]
+        lat = machine.config.latency
+        read = iface.read(regions[0].addr(0), 0)
+        assert read.ready == lat.read_fill_local - lat.uncached_discount
+        write = iface.write(regions[0].addr(0), 0)
+        assert write.proceed == lat.write_owned_local - lat.uncached_discount

@@ -1,0 +1,191 @@
+"""Tests for the PTHOR application: circuits, reference simulator, and
+the parallel simulation's bit-exact agreement with it."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.pthor import (
+    Circuit,
+    Gate,
+    GateType,
+    PTHORConfig,
+    full_adder,
+    pthor_program,
+    ripple_counter,
+    simulate_sequential,
+    synthesize_circuit,
+)
+from repro.apps.pthor.config import bench_scale, paper_scale
+from repro.apps.pthor.logicsim import clock_edge, default_stimulus, settle
+from repro.config import Consistency, dash_scaled_config
+from repro.system import run_program
+
+
+class TestGates:
+    @pytest.mark.parametrize(
+        "gate_type,inputs,expected",
+        [
+            (GateType.AND, (1, 1), 1),
+            (GateType.AND, (1, 0), 0),
+            (GateType.OR, (0, 0), 0),
+            (GateType.OR, (0, 1), 1),
+            (GateType.NAND, (1, 1), 0),
+            (GateType.NOR, (0, 0), 1),
+            (GateType.XOR, (1, 1), 0),
+            (GateType.XOR, (1, 0), 1),
+            (GateType.NOT, (1,), 0),
+            (GateType.BUF, (1,), 1),
+        ],
+    )
+    def test_truth_tables(self, gate_type, inputs, expected):
+        gate = Gate(0, gate_type, list(range(len(inputs))), 9)
+        assert gate.evaluate(list(inputs) + [0] * 8) == expected
+
+    def test_dff_not_combinationally_evaluated(self):
+        gate = Gate(0, GateType.DFF, [0], 1)
+        with pytest.raises(ValueError):
+            gate.evaluate([0, 0])
+
+
+class TestCircuits:
+    def test_full_adder_truth_table(self):
+        circuit = full_adder()
+        for a in (0, 1):
+            for b in (0, 1):
+                for cin in (0, 1):
+                    values = [0] * circuit.num_nets
+                    values[0], values[1], values[2] = a, b, cin
+                    settle(circuit, values)
+                    assert values[5] == (a + b + cin) % 2       # sum
+                    assert values[8] == (a + b + cin) // 2      # carry
+
+    def test_ripple_counter_counts(self):
+        bits = 4
+        circuit = ripple_counter(bits)
+        values = [0] * circuit.num_nets
+        values[0] = 1  # enable
+        for expected in range(1, 10):
+            settle(circuit, values)
+            clock_edge(circuit, values)
+            count = sum(values[1 + i] << i for i in range(bits))
+            assert count == expected % (1 << bits)
+
+    def test_counter_holds_when_disabled(self):
+        circuit = ripple_counter(3)
+        values = [0] * circuit.num_nets
+        values[0] = 0
+        for _ in range(3):
+            settle(circuit, values)
+            clock_edge(circuit, values)
+        assert sum(values[1 + i] << i for i in range(3)) == 0
+
+    def test_synthesized_circuit_is_structurally_sound(self):
+        circuit = synthesize_circuit(num_gates=300, seed=7)
+        circuit.check()
+        assert len(circuit.gates) == 300
+        assert circuit.flip_flops
+        assert circuit.combinational
+
+    def test_synthesized_fanout_is_consistent(self):
+        circuit = synthesize_circuit(num_gates=100, seed=3)
+        for gate in circuit.gates:
+            for fan_index in gate.fanout:
+                assert gate.output in circuit.gates[fan_index].inputs
+
+    @given(st.integers(min_value=10, max_value=400), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_property_synthesized_circuits_check(self, gates, seed):
+        circuit = synthesize_circuit(num_gates=gates, seed=seed)
+        circuit.check()
+
+    def test_settle_reaches_unique_fixpoint_regardless_of_state(self):
+        circuit = synthesize_circuit(num_gates=120, seed=11)
+        values_a = [0] * circuit.num_nets
+        values_b = [0] * circuit.num_nets
+        stim = default_stimulus(circuit)
+        for net, value in stim(3).items():
+            values_a[net] = value
+            values_b[net] = value
+        # Perturb intermediate nets in one copy; fixpoint must agree.
+        for gate in circuit.combinational[::3]:
+            values_b[gate.output] ^= 1
+        settle(circuit, values_a)
+        settle(circuit, values_b)
+        assert values_a == values_b
+
+
+class TestConfig:
+    def test_paper_scale(self):
+        config = paper_scale()
+        assert config.num_gates == 11_000
+        assert config.clock_cycles == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PTHORConfig(num_gates=2)
+        with pytest.raises(ValueError):
+            PTHORConfig(clock_cycles=0)
+
+
+class TestSimulatedRun:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        config = dash_scaled_config(num_processors=4)
+        pthor_config = bench_scale()
+        result = run_program(pthor_program(pthor_config), config)
+        reference = simulate_sequential(
+            result.world.circuit, pthor_config.clock_cycles
+        )
+        return result, reference
+
+    def test_parallel_matches_sequential_bit_exact(self, outcome):
+        result, reference = outcome
+        assert result.world.history == reference
+
+    def test_counter_circuit_under_simulation(self):
+        circuit = ripple_counter(4)
+        config = dash_scaled_config(num_processors=2)
+        pthor_config = PTHORConfig(num_gates=16, clock_cycles=7)
+        result = run_program(
+            pthor_program(pthor_config, circuit=circuit), config
+        )
+        reference = simulate_sequential(circuit, 7)
+        assert result.world.history == reference
+
+    def test_locks_are_plentiful(self, outcome):
+        # Task-queue traffic dominates PTHOR's Table 2 lock count.
+        result, _ = outcome
+        assert result.sync.lock_acquires > result.sync.barrier_crossings
+
+    def test_pending_counter_balanced(self, outcome):
+        # The final clock edge legitimately activates elements for a
+        # cycle that never runs; the counter must exactly equal the
+        # tasks still sitting in the queues (none lost, none leaked).
+        result, _ = outcome
+        queued = sum(len(queue) for queue in result.world.queues)
+        assert result.world.pending == queued
+
+    def test_multi_context_still_bit_exact(self):
+        circuit = ripple_counter(4)
+        config = dash_scaled_config(
+            num_processors=2,
+            contexts_per_processor=2,
+            consistency=Consistency.RC,
+        )
+        result = run_program(
+            pthor_program(PTHORConfig(num_gates=16, clock_cycles=5), circuit=circuit),
+            config,
+        )
+        assert result.world.history == simulate_sequential(circuit, 5)
+
+    def test_prefetch_preserves_results(self):
+        config = dash_scaled_config(num_processors=4)
+        pthor_config = bench_scale()
+        result = run_program(
+            pthor_program(pthor_config, prefetching=True), config
+        )
+        reference = simulate_sequential(
+            result.world.circuit, pthor_config.clock_cycles
+        )
+        assert result.world.history == reference
+        assert result.prefetch.issued_by_processor > 0

@@ -1,0 +1,84 @@
+"""Unit tests for queued resources."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import QueuedResource, ResourceGroup
+
+
+def test_idle_resource_serves_immediately():
+    resource = QueuedResource("bus")
+    assert resource.acquire(100, 5) == 105
+
+
+def test_busy_resource_queues():
+    resource = QueuedResource("bus")
+    resource.acquire(100, 10)
+    assert resource.acquire(100, 5) == 115  # waits for the first to finish
+
+
+def test_gap_between_transactions_is_idle():
+    resource = QueuedResource("bus")
+    resource.acquire(0, 5)
+    assert resource.acquire(50, 5) == 55
+
+
+def test_delay_reports_queuing_only():
+    resource = QueuedResource("bus")
+    resource.acquire(0, 10)
+    assert resource.delay(0, 5) == 10
+
+
+def test_negative_occupancy_rejected():
+    resource = QueuedResource("bus")
+    with pytest.raises(ValueError):
+        resource.acquire(0, -1)
+
+
+def test_utilization():
+    resource = QueuedResource("bus")
+    resource.acquire(0, 25)
+    resource.acquire(100, 25)
+    assert resource.utilization(100) == 0.5
+    assert resource.utilization(0) == 0.0
+
+
+def test_busy_total_and_transactions():
+    resource = QueuedResource("bus")
+    resource.acquire(0, 3)
+    resource.acquire(0, 4)
+    assert resource.busy_total == 7
+    assert resource.transactions == 2
+
+
+def test_group_busiest():
+    group = ResourceGroup()
+    a = group.new("a")
+    b = group.new("b")
+    a.acquire(0, 10)
+    b.acquire(0, 90)
+    assert group.busiest(100) == ("b", 0.9)
+    assert len(group) == 2
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=50),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_grants_never_overlap(requests):
+    """Service intervals are disjoint and nondecreasing regardless of
+    arrival pattern."""
+    resource = QueuedResource("r")
+    previous_finish = 0
+    for arrival, occupancy in requests:
+        finish = resource.acquire(arrival, occupancy)
+        start = finish - occupancy
+        assert start >= previous_finish or occupancy == 0
+        assert start >= arrival
+        previous_finish = max(previous_finish, finish)

@@ -1,0 +1,145 @@
+"""Tests for SimulationResult derived metrics."""
+
+import pytest
+
+from repro.coherence import AccessClass, ProtocolStats
+from repro.config import dash_scaled_config
+from repro.processor.accounting import Bucket, TimeBreakdown
+from repro.system.results import (
+    PrefetchSummary,
+    SimulationResult,
+    SyncSummary,
+    classify_counts,
+)
+
+
+def make_result(per_processor, execution_time, **overrides):
+    defaults = dict(
+        program_name="t",
+        config=dash_scaled_config(num_processors=len(per_processor)),
+        execution_time=execution_time,
+        per_processor=per_processor,
+        protocol=ProtocolStats(),
+        sync=SyncSummary(),
+        prefetch=PrefetchSummary(),
+        shared_reads=100,
+        shared_writes=50,
+        read_hits=80,
+        read_misses=20,
+        write_hits=30,
+        write_misses=20,
+        shared_data_bytes=1024,
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+def breakdown(busy=0, read=0, write=0, sync=0):
+    b = TimeBreakdown()
+    b.add(Bucket.BUSY, busy)
+    b.add(Bucket.READ_STALL, read)
+    b.add(Bucket.WRITE_STALL, write)
+    b.add(Bucket.SYNC_STALL, sync)
+    return b
+
+
+class TestDerivedMetrics:
+    def test_hit_rates(self):
+        result = make_result([breakdown(busy=10)], 10)
+        assert result.read_hit_rate() == 0.8
+        assert result.write_hit_rate() == 0.6
+
+    def test_hit_rates_none_when_no_accesses(self):
+        result = make_result(
+            [breakdown(busy=10)], 10,
+            read_hits=0, read_misses=0, write_hits=0, write_misses=0,
+        )
+        assert result.read_hit_rate() is None
+        assert result.write_hit_rate() is None
+
+    def test_utilization(self):
+        result = make_result(
+            [breakdown(busy=30, read=70), breakdown(busy=50, read=50)], 100
+        )
+        assert result.processor_utilization == pytest.approx(0.4)
+
+    def test_speedup(self):
+        fast = make_result([breakdown(busy=10)], 100)
+        slow = make_result([breakdown(busy=10)], 300)
+        assert fast.speedup_over(slow) == 3.0
+
+    def test_aggregate_pads_to_execution_time(self):
+        result = make_result(
+            [breakdown(busy=100), breakdown(busy=60)], 100
+        )
+        agg = result.aggregate
+        assert agg.total == 200
+        assert agg[Bucket.SYNC_STALL] == 40  # single-context padding
+
+    def test_aggregate_pads_all_idle_for_multi_context(self):
+        config = dash_scaled_config(
+            num_processors=2, contexts_per_processor=4
+        )
+        result = make_result(
+            [breakdown(busy=100), breakdown(busy=60)], 100, config=config
+        )
+        assert result.aggregate[Bucket.ALL_IDLE] == 40
+
+    def test_prefetch_coverage(self):
+        baseline = make_result(
+            [breakdown()], 10, read_misses=100, write_misses=0
+        )
+        prefetched = make_result(
+            [breakdown()], 10, read_misses=20, write_misses=0
+        )
+        assert prefetched.prefetch_coverage(baseline) == pytest.approx(0.8)
+
+
+class TestClassifyCounts:
+    def test_split(self):
+        hits, misses = classify_counts(
+            {
+                AccessClass.PRIMARY_HIT: 5,
+                AccessClass.SECONDARY_HIT: 3,
+                AccessClass.LOCAL: 2,
+                AccessClass.HOME: 1,
+                AccessClass.REMOTE: 4,
+            }
+        )
+        assert hits == 8
+        assert misses == 7
+
+    def test_empty(self):
+        assert classify_counts({}) == (0, 0)
+
+
+class TestSyncSummary:
+    def test_locks_total_includes_flag_waits(self):
+        summary = SyncSummary(lock_acquires=10, flag_waits=5)
+        assert summary.locks_total == 15
+
+
+class TestRunLengths:
+    def test_median_run_length_none_when_empty(self):
+        result = make_result([breakdown(busy=1)], 1)
+        assert result.median_run_length() is None
+
+    def test_median_run_length(self):
+        result = make_result(
+            [breakdown(busy=1)], 1, run_lengths=[5, 11, 7, 100, 3]
+        )
+        assert result.median_run_length() == 7
+
+    def test_apps_report_plausible_run_lengths(self):
+        """Measured medians sit in the paper's regime (it reports
+        11/6/7 pclocks for MP3D/LU/PTHOR under cached SC)."""
+        from repro.apps import LUConfig, lu_program
+        from repro.system import run_program
+
+        result = run_program(
+            lu_program(LUConfig(n=24)),
+            dash_scaled_config(num_processors=4),
+        )
+        median = result.median_run_length()
+        assert median is not None
+        assert 2 <= median <= 40

@@ -1,0 +1,189 @@
+"""Unit tests for locks, flags, and barriers."""
+
+import pytest
+
+from repro.config import ContentionConfig, dash_scaled_config
+from repro.interconnect import Interconnect
+from repro.memlayout import SharedMemoryAllocator
+from repro.sim import EventEngine
+from repro.sync import BarrierManager, FlagManager, LockManager, SyncCosts
+
+
+def make_sync(num_nodes=4):
+    config = dash_scaled_config(
+        num_processors=num_nodes, contention=ContentionConfig(enabled=False)
+    )
+    engine = EventEngine()
+    allocator = SharedMemoryAllocator(num_nodes, page_bytes=config.page_bytes)
+    region = allocator.alloc_round_robin("sync", num_nodes * config.page_bytes)
+    costs = SyncCosts(config, allocator, Interconnect(num_nodes, config.contention))
+    return engine, region, costs, config
+
+
+class TestLocks:
+    def test_uncontended_acquire_grants_immediately(self):
+        engine, region, costs, config = make_sync()
+        locks = LockManager(engine, costs)
+        grant = locks.acquire(region.addr(0), 0, 0, lambda t: None)
+        assert grant is not None and grant > 0
+        assert locks.is_held(region.addr(0))
+
+    def test_contended_acquire_waits_for_release(self):
+        engine, region, costs, config = make_sync()
+        locks = LockManager(engine, costs)
+        addr = region.addr(0)
+        grants = []
+        first = locks.acquire(addr, 0, 0, grants.append)
+        assert first is not None
+        assert locks.acquire(addr, 1, 5, grants.append) is None
+        release_visible = locks.release(addr, 0, 100)
+        engine.run()
+        assert len(grants) == 1
+        assert grants[0] > release_visible
+
+    def test_fifo_grant_order(self):
+        engine, region, costs, config = make_sync()
+        locks = LockManager(engine, costs)
+        addr = region.addr(0)
+        order = []
+        locks.acquire(addr, 0, 0, lambda t: None)
+        locks.acquire(addr, 1, 1, lambda t: order.append(1))
+        locks.acquire(addr, 2, 2, lambda t: order.append(2))
+        locks.release(addr, 0, 50)
+
+        # The first waiter releases in turn once granted.
+        def chain():
+            locks.release(addr, 1, engine.now)
+
+        engine.schedule(500, chain)
+        engine.run()
+        assert order == [1, 2]
+
+    def test_release_unheld_raises(self):
+        engine, region, costs, config = make_sync()
+        locks = LockManager(engine, costs)
+        with pytest.raises(RuntimeError):
+            locks.release(region.addr(0), 0, 0)
+
+    def test_free_time_orders_post_release_acquire(self):
+        engine, region, costs, config = make_sync()
+        locks = LockManager(engine, costs)
+        addr = region.addr(0)
+        locks.acquire(addr, 0, 0, lambda t: None)
+        visible = locks.release(addr, 0, 100)
+        grant = locks.acquire(addr, 1, 0, lambda t: None)
+        assert grant >= visible
+
+    def test_stats(self):
+        engine, region, costs, config = make_sync()
+        locks = LockManager(engine, costs)
+        addr = region.addr(0)
+        locks.acquire(addr, 0, 0, lambda t: None)
+        locks.acquire(addr, 1, 0, lambda t: None)
+        locks.release(addr, 0, 10)
+        assert locks.stats.acquires == 2
+        assert locks.stats.contended_acquires == 1
+        assert locks.stats.releases == 1
+
+
+class TestFlags:
+    def test_wait_blocks_until_set(self):
+        engine, region, costs, config = make_sync()
+        flags = FlagManager(engine, costs)
+        addr = region.addr(0)
+        grants = []
+        assert flags.wait(addr, 0, 0, grants.append) is None
+        visible = flags.set(addr, 1, 50)
+        engine.run()
+        assert grants and grants[0] > visible
+
+    def test_wait_after_set_grants_immediately(self):
+        engine, region, costs, config = make_sync()
+        flags = FlagManager(engine, costs)
+        addr = region.addr(0)
+        visible = flags.set(addr, 0, 0)
+        grant = flags.wait(addr, 1, visible + 100, lambda t: None)
+        assert grant is not None and grant >= visible
+
+    def test_wait_probe_cannot_precede_set_visibility(self):
+        engine, region, costs, config = make_sync()
+        flags = FlagManager(engine, costs)
+        addr = region.addr(0)
+        visible = flags.set(addr, 0, 0)
+        grant = flags.wait(addr, 1, 0, lambda t: None)
+        assert grant >= visible
+
+    def test_reset_allows_reuse(self):
+        engine, region, costs, config = make_sync()
+        flags = FlagManager(engine, costs)
+        addr = region.addr(0)
+        flags.set(addr, 0, 0)
+        flags.reset(addr)
+        assert not flags.is_set(addr)
+        assert flags.wait(addr, 1, 0, lambda t: None) is None
+        flags.set(addr, 0, 10)
+        engine.run()
+
+    def test_reset_with_waiters_rejected(self):
+        engine, region, costs, config = make_sync()
+        flags = FlagManager(engine, costs)
+        addr = region.addr(0)
+        flags.wait(addr, 0, 0, lambda t: None)
+        with pytest.raises(RuntimeError):
+            flags.reset(addr)
+
+
+class TestBarriers:
+    def test_all_release_after_last_arrival(self):
+        engine, region, costs, config = make_sync()
+        barriers = BarrierManager(engine, costs)
+        addr = region.addr(0)
+        grants = {}
+        for node in range(4):
+            barriers.arrive(
+                addr, 4, node, node * 10, lambda t, n=node: grants.setdefault(n, t)
+            )
+        engine.run()
+        assert set(grants) == {0, 1, 2, 3}
+        # Nobody resumes before the last arrival's completion.
+        assert min(grants.values()) > 30
+
+    def test_barrier_reusable_across_episodes(self):
+        engine, region, costs, config = make_sync()
+        barriers = BarrierManager(engine, costs)
+        addr = region.addr(0)
+        for episode in range(3):
+            start = engine.now
+            for node in range(2):
+                barriers.arrive(addr, 2, node, start, lambda t: None)
+            engine.run()
+        assert barriers.stats.episodes == 3
+        assert barriers.stats.crossings == 6
+
+    def test_overfull_barrier_rejected(self):
+        engine, region, costs, config = make_sync()
+        barriers = BarrierManager(engine, costs)
+        addr = region.addr(0)
+        barriers.arrive(addr, 1, 0, 0, lambda t: None)
+        # Episode completed and reset; a fresh arrival is fine.
+        barriers.arrive(addr, 1, 0, 0, lambda t: None)
+        with pytest.raises(ValueError):
+            barriers.arrive(addr, 0, 0, 0, lambda t: None)
+
+
+class TestSyncCosts:
+    def test_acquire_cost_depends_on_home(self):
+        engine, region, costs, config = make_sync()
+        lat = config.latency
+        local_home = costs.home_of(region.addr(0))
+        assert costs.acquire_cost(local_home, region.addr(0), 0) == lat.read_fill_local
+        other = (local_home + 1) % 4
+        assert costs.acquire_cost(other, region.addr(0), 0) == lat.read_fill_home
+
+    def test_release_cost_depends_on_home(self):
+        engine, region, costs, config = make_sync()
+        lat = config.latency
+        home = costs.home_of(region.addr(0))
+        assert costs.release_cost(home, region.addr(0), 0) == lat.write_owned_local
+        other = (home + 1) % 4
+        assert costs.release_cost(other, region.addr(0), 0) == lat.write_owned_home

@@ -1,0 +1,184 @@
+"""Cross-module integration tests: the assembled machine end to end."""
+
+import pytest
+
+from repro.coherence import AccessClass
+from repro.config import Consistency, dash_full_config, dash_scaled_config
+from repro.processor.accounting import Bucket
+from repro.sim import DeadlockError
+from repro.system import Machine, run_program
+from repro.tango import Program
+from repro.tango import ops as O
+
+
+def sharing_program(iterations=40):
+    """All processes read/modify a shared array plus private data."""
+
+    def setup(allocator, num_processes):
+        return {
+            "shared": allocator.alloc_round_robin("shared", 8192),
+            "private": [
+                allocator.alloc_local(f"private{i}", 4096, i % allocator.num_nodes)
+                for i in range(num_processes)
+            ],
+            "sync": allocator.alloc_round_robin("sync", 4096),
+        }
+
+    def factory(world, env):
+        def thread():
+            shared = world["shared"]
+            private = world["private"][env.process_id]
+            for i in range(iterations):
+                yield (O.READ, shared.addr((i * 16 * (env.process_id + 1)) % 8000))
+                yield (O.BUSY, 4)
+                yield (O.READ, private.addr((i * 16) % 4000))
+                yield (O.WRITE, private.addr((i * 16) % 4000))
+                if i % 8 == 0:
+                    yield (O.WRITE, shared.addr((i * 16) % 8000))
+                yield (O.BUSY, 6)
+            yield (O.BARRIER, world["sync"].addr(0), env.num_processes)
+
+        return thread()
+
+    return Program("sharing", setup, factory)
+
+
+@pytest.mark.parametrize("consistency", [Consistency.SC, Consistency.RC])
+@pytest.mark.parametrize("contexts", [1, 2, 4])
+def test_time_partition_invariant(consistency, contexts):
+    """Every processor's bucket counts partition its elapsed time, for
+    every consistency model and context count."""
+    config = dash_scaled_config(
+        num_processors=4,
+        consistency=consistency,
+        contexts_per_processor=contexts,
+    )
+    machine = Machine(config)
+    machine.load(sharing_program())
+    machine.run()
+    for processor in machine.processors:
+        assert processor.finished
+        assert processor.breakdown.total == processor.finish_time
+
+
+@pytest.mark.parametrize("consistency", [Consistency.SC, Consistency.RC])
+def test_coherence_invariants_after_full_run(consistency):
+    config = dash_scaled_config(num_processors=4, consistency=consistency)
+    machine = Machine(config)
+    machine.load(sharing_program())
+    machine.run()
+    machine.protocol.check_invariants()
+
+
+def test_execution_time_is_max_processor_finish():
+    config = dash_scaled_config(num_processors=4)
+    machine = Machine(config)
+    machine.load(sharing_program())
+    result = machine.run()
+    assert result.execution_time == max(p.finish_time for p in machine.processors)
+
+
+def test_aggregate_pads_early_finishers():
+    def setup(allocator, num_processes):
+        return {"r": allocator.alloc_round_robin("r", 4096)}
+
+    def factory(world, env):
+        def thread():
+            yield (O.BUSY, 100 if env.process_id == 0 else 10)
+
+        return thread()
+
+    config = dash_scaled_config(num_processors=2)
+    result = run_program(Program("skew", setup, factory), config)
+    aggregate = result.aggregate
+    assert aggregate.total == result.execution_time * 2
+
+
+def reuse_program(passes=6, lines=16):
+    """Each process sweeps a small private working set repeatedly —
+    a workload where caching pays off."""
+
+    def setup(allocator, num_processes):
+        return {
+            "private": [
+                allocator.alloc_local(f"private{i}", 4096, i % allocator.num_nodes)
+                for i in range(num_processes)
+            ],
+            "sync": allocator.alloc_round_robin("sync", 4096),
+        }
+
+    def factory(world, env):
+        def thread():
+            private = world["private"][env.process_id]
+            for _sweep in range(passes):
+                for i in range(lines):
+                    yield (O.READ, private.addr(i * 16))
+                    yield (O.BUSY, 3)
+                    yield (O.WRITE, private.addr(i * 16))
+            yield (O.BARRIER, world["sync"].addr(0), env.num_processes)
+
+        return thread()
+
+    return Program("reuse", setup, factory)
+
+
+def test_uncached_mode_runs_and_is_slower():
+    cached = run_program(reuse_program(), dash_scaled_config(num_processors=4))
+    uncached = run_program(
+        reuse_program(),
+        dash_scaled_config(num_processors=4, caching_shared_data=False),
+    )
+    assert uncached.execution_time > cached.execution_time
+    assert AccessClass.UNCACHED_LOCAL in uncached.protocol.reads_by_class or (
+        AccessClass.UNCACHED_REMOTE in uncached.protocol.reads_by_class
+    )
+
+
+def test_full_size_caches_run():
+    result = run_program(reuse_program(), dash_full_config(num_processors=4))
+    assert result.execution_time > 0
+    assert result.read_hit_rate() > 0.5  # reuse workload hits
+
+
+def test_machine_requires_load_before_run():
+    with pytest.raises(RuntimeError):
+        Machine(dash_scaled_config(num_processors=2)).run()
+
+
+def test_deadlock_reported_with_blocked_processors():
+    def setup(allocator, num_processes):
+        return {"sync": allocator.alloc_round_robin("sync", 4096)}
+
+    def factory(world, env):
+        def thread():
+            # Barrier that can never fill (participants overstated).
+            yield (O.BARRIER, world["sync"].addr(0), env.num_processes + 1)
+
+        return thread()
+
+    config = dash_scaled_config(num_processors=2)
+    machine = Machine(config)
+    machine.load(Program("stuck", setup, factory))
+    with pytest.raises(DeadlockError):
+        machine.run()
+
+
+def test_more_processors_speed_up_parallel_work():
+    small = run_program(
+        sharing_program(iterations=80), dash_scaled_config(num_processors=2)
+    )
+    large = run_program(
+        sharing_program(iterations=80), dash_scaled_config(num_processors=8)
+    )
+    # Same per-process work; more processors => more total work done,
+    # but similar elapsed time (weak scaling sanity).
+    assert large.execution_time < 3 * small.execution_time
+    assert large.busy_cycles > small.busy_cycles
+
+
+def test_extras_and_metadata():
+    result = run_program(sharing_program(), dash_scaled_config(num_processors=2))
+    assert result.program_name == "sharing"
+    assert result.num_processors == 2
+    assert result.events_processed > 0
+    assert result.shared_data_bytes > 0

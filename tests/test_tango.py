@@ -1,0 +1,58 @@
+"""Tests for the Tango-style op vocabulary and program abstraction."""
+
+import pytest
+
+from repro.memlayout import SharedMemoryAllocator
+from repro.tango import ProcessEnv, Program
+from repro.tango import ops as O
+
+
+class TestOps:
+    def test_constructors_build_expected_tuples(self):
+        assert O.busy(5) == (O.BUSY, 5)
+        assert O.read(0x100) == (O.READ, 0x100)
+        assert O.write(0x100) == (O.WRITE, 0x100)
+        assert O.prefetch(0x200, exclusive=True) == (O.PREFETCH, 0x200, True)
+        assert O.lock(0x300) == (O.LOCK, 0x300)
+        assert O.unlock(0x300) == (O.UNLOCK, 0x300)
+        assert O.flag_wait(0x400) == (O.FLAG_WAIT, 0x400)
+        assert O.flag_set(0x400) == (O.FLAG_SET, 0x400)
+        assert O.barrier(0x500, 16) == (O.BARRIER, 0x500, 16)
+
+    def test_opcodes_are_distinct(self):
+        codes = [
+            O.BUSY, O.READ, O.WRITE, O.PREFETCH, O.LOCK, O.UNLOCK,
+            O.FLAG_WAIT, O.FLAG_SET, O.BARRIER,
+        ]
+        assert len(set(codes)) == len(codes)
+
+    def test_describe(self):
+        assert "READ" in O.describe(O.read(0x10))
+        assert "BUSY" in O.describe(O.busy(3))
+
+
+class TestProgram:
+    def test_build_then_threads(self):
+        def setup(allocator, num_processes):
+            return {"n": num_processes}
+
+        def factory(world, env):
+            def thread():
+                yield O.busy(env.process_id + 1)
+
+            return thread()
+
+        program = Program("p", setup, factory)
+        allocator = SharedMemoryAllocator(num_nodes=2, page_bytes=512)
+        world = program.build(allocator, 4)
+        assert world == {"n": 4}
+        env = ProcessEnv(
+            process_id=2, num_processes=4, node=0, context=1, num_nodes=2
+        )
+        ops = list(program.thread(env))
+        assert ops == [(O.BUSY, 3)]
+
+    def test_world_requires_build(self):
+        program = Program("p", lambda a, n: {}, lambda w, e: iter(()))
+        with pytest.raises(RuntimeError):
+            program.world
