@@ -1,0 +1,63 @@
+"""Dynamic analysis and verification tools for the simulator.
+
+This package is entirely opt-in: nothing here is imported by the
+simulation core unless ``MachineConfig(sanitize=True)`` is set or the
+``repro check`` CLI subcommand is used.
+
+* :mod:`repro.analysis.invariants` — runtime coherence sanitizer
+  (SWMR, inclusion, directory precision, buffer bounds) with
+  transition traces;
+* :mod:`repro.analysis.vector_clock` / :mod:`repro.analysis.race_detector`
+  — happens-before data-race detection over application op streams;
+* :mod:`repro.analysis.oplint` — structural lint of Tango op tuples and
+  synchronization pairing;
+* :mod:`repro.analysis.executor` — the untimed op-stream executor the
+  dynamic analyses run on;
+* :mod:`repro.analysis.litmus` — consistency litmus tests through the
+  full machine (imported directly, not re-exported here: it depends on
+  :mod:`repro.system`, which may itself import this package).
+"""
+
+from repro.analysis.executor import (
+    ExecutionSummary,
+    LogicalExecutor,
+    OpListener,
+    execute_program,
+)
+from repro.analysis.invariants import (
+    CoherenceSanitizer,
+    Transition,
+    TransitionTrace,
+)
+from repro.analysis.oplint import (
+    LintIssue,
+    OpLinter,
+    lint_ops,
+    lint_program,
+)
+from repro.analysis.race_detector import (
+    AccessSite,
+    RaceDetector,
+    RaceReport,
+)
+from repro.analysis.vector_clock import Epoch, VectorClock, join_all
+
+__all__ = [
+    "AccessSite",
+    "CoherenceSanitizer",
+    "Epoch",
+    "ExecutionSummary",
+    "LintIssue",
+    "LogicalExecutor",
+    "OpLinter",
+    "OpListener",
+    "RaceDetector",
+    "RaceReport",
+    "Transition",
+    "TransitionTrace",
+    "VectorClock",
+    "execute_program",
+    "join_all",
+    "lint_ops",
+    "lint_program",
+]

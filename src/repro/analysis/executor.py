@@ -1,0 +1,355 @@
+"""Untimed logical execution of Tango op streams.
+
+The dynamic analyses (race detection, op-stream lint) need each
+application thread's operation stream *with* a legal interleaving of the
+synchronization operations, but they do not need the architecture
+simulator's timing.  :class:`LogicalExecutor` runs a
+:class:`~repro.tango.Program`'s generator threads under a
+run-until-block round-robin scheduler that honours LOCK/UNLOCK,
+FLAG_SET/FLAG_WAIT, and BARRIER semantics — any schedule it produces is
+one the real machine could produce, so the Python-level computation the
+threads perform stays consistent.
+
+Listeners observe the stream through :class:`OpListener` callbacks,
+fired in the serialization order the scheduler chose; synchronization
+callbacks (``on_lock_acquired``, ``on_flag_passed``,
+``on_barrier_release``) fire at the grant point, which is exactly where
+a vector-clock analysis must create its happens-before edges.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.memlayout import SharedMemoryAllocator
+from repro.sim.engine import DeadlockError, SimulationError
+from repro.tango import ops as O
+from repro.tango.program import ProcessEnv, Program
+
+
+class OpListener:
+    """Base class for op-stream observers; override what you need."""
+
+    def on_start(
+        self, allocator: SharedMemoryAllocator, num_processes: int
+    ) -> None:
+        """Fired once, after the program's shared world is built."""
+
+    def on_op(self, thread: int, index: int, op: tuple) -> None:
+        """Every yielded op, before interpretation (lint hook)."""
+
+    def on_read(self, thread: int, index: int, addr: int) -> None:
+        pass
+
+    def on_write(self, thread: int, index: int, addr: int) -> None:
+        pass
+
+    def on_lock_acquired(self, thread: int, addr: int) -> None:
+        pass
+
+    def on_unlock(self, thread: int, addr: int) -> None:
+        pass
+
+    def on_flag_set(self, thread: int, addr: int) -> None:
+        pass
+
+    def on_flag_passed(self, thread: int, addr: int) -> None:
+        """The thread's FLAG_WAIT was satisfied (acquire edge)."""
+
+    def on_barrier_release(self, addr: int, threads: Sequence[int]) -> None:
+        """All ``threads`` crossed the barrier at ``addr`` together."""
+
+    def on_thread_done(self, thread: int) -> None:
+        pass
+
+    def on_finish(self) -> None:
+        """Fired once, after every thread has finished."""
+
+
+class _State(enum.Enum):
+    RUNNABLE = 0
+    BLOCKED = 1
+    DONE = 2
+
+
+@dataclass
+class _Thread:
+    tid: int
+    gen: Iterator[tuple]
+    state: _State = _State.RUNNABLE
+    blocked_on: str = ""
+    op_index: int = -1
+
+
+@dataclass
+class _Lock:
+    holder: Optional[int] = None
+    waiters: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _Barrier:
+    participants: int = 0
+    arrived: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ExecutionSummary:
+    """What the logical run did (diagnostics for reports)."""
+
+    num_threads: int = 0
+    ops_executed: int = 0
+    reads: int = 0
+    writes: int = 0
+    lock_acquires: int = 0
+    barrier_episodes: int = 0
+    flag_sets: int = 0
+
+
+class LogicalExecutor:
+    """Run a program's threads under synchronization-only semantics."""
+
+    def __init__(
+        self,
+        program: Program,
+        num_processes: int,
+        listeners: Sequence[OpListener] = (),
+        num_nodes: Optional[int] = None,
+        page_bytes: int = 512,
+        strict: bool = True,
+        max_ops: int = 200_000_000,
+        slice_ops: int = 500,
+    ) -> None:
+        self.program = program
+        self.num_processes = num_processes
+        self.listeners = list(listeners)
+        self.num_nodes = num_nodes or num_processes
+        self.page_bytes = page_bytes
+        self.strict = strict
+        self.max_ops = max_ops
+        self.slice_ops = slice_ops
+        self.summary = ExecutionSummary(num_threads=num_processes)
+        self.allocator = SharedMemoryAllocator(
+            num_nodes=self.num_nodes, page_bytes=page_bytes
+        )
+        self._threads: List[_Thread] = []
+
+    # -- setup ---------------------------------------------------------------
+
+    def _spawn_threads(self) -> List[_Thread]:
+        self.program.build(self.allocator, self.num_processes)
+        for listener in self.listeners:
+            listener.on_start(self.allocator, self.num_processes)
+        threads = []
+        for pid in range(self.num_processes):
+            env = ProcessEnv(
+                process_id=pid,
+                num_processes=self.num_processes,
+                node=pid % self.num_nodes,
+                context=pid // self.num_nodes,
+                num_nodes=self.num_nodes,
+            )
+            threads.append(_Thread(tid=pid, gen=self.program.thread(env)))
+        return threads
+
+    # -- the scheduler -------------------------------------------------------
+
+    def run(self) -> ExecutionSummary:
+        threads = self._threads = self._spawn_threads()
+        locks: Dict[int, _Lock] = {}
+        flags_set: Set[int] = set()
+        flag_waiters: Dict[int, List[int]] = {}
+        barriers: Dict[int, _Barrier] = {}
+        cursor = 0
+
+        def runnable_exists() -> bool:
+            return any(t.state is _State.RUNNABLE for t in threads)
+
+        while True:
+            if not runnable_exists():
+                blocked = [t for t in threads if t.state is _State.BLOCKED]
+                if not blocked:
+                    break  # all done
+                detail = ", ".join(
+                    f"thread {t.tid} on {t.blocked_on}" for t in blocked
+                )
+                raise DeadlockError(
+                    f"logical execution deadlocked with {len(blocked)} "
+                    f"thread(s) blocked: {detail}"
+                )
+            # Round-robin: find the next runnable thread from the cursor.
+            while threads[cursor].state is not _State.RUNNABLE:
+                cursor = (cursor + 1) % len(threads)
+            thread = threads[cursor]
+            cursor = (cursor + 1) % len(threads)
+
+            # Run it until it blocks, finishes, or exhausts its time
+            # slice (a slice keeps spin-waiting threads — PTHOR's task
+            # queue polling — from starving the rest of the system).
+            remaining = self.slice_ops
+            while thread.state is _State.RUNNABLE and remaining > 0:
+                remaining -= 1
+                try:
+                    op = next(thread.gen)
+                except StopIteration:
+                    thread.state = _State.DONE
+                    for listener in self.listeners:
+                        listener.on_thread_done(thread.tid)
+                    break
+                thread.op_index += 1
+                self.summary.ops_executed += 1
+                if self.summary.ops_executed > self.max_ops:
+                    raise SimulationError(
+                        f"logical execution exceeded {self.max_ops} ops; "
+                        "likely a livelock in the program"
+                    )
+                for listener in self.listeners:
+                    listener.on_op(thread.tid, thread.op_index, op)
+                self._interpret(
+                    thread, op, locks, flags_set, flag_waiters, barriers
+                )
+
+        for listener in self.listeners:
+            listener.on_finish()
+        return self.summary
+
+    # -- op interpretation ----------------------------------------------------
+
+    def _interpret(
+        self,
+        thread: _Thread,
+        op: tuple,
+        locks: Dict[int, _Lock],
+        flags_set: Set[int],
+        flag_waiters: Dict[int, List[int]],
+        barriers: Dict[int, _Barrier],
+    ) -> None:
+        tid = thread.tid
+        if not isinstance(op, tuple) or not op:
+            if self.strict:
+                raise SimulationError(
+                    f"thread {tid} yielded malformed op {op!r}"
+                )
+            return
+        code = op[0]
+        if code in (O.BUSY, O.PREFETCH):
+            return
+        if code == O.READ:
+            self.summary.reads += 1
+            for listener in self.listeners:
+                listener.on_read(tid, thread.op_index, op[1])
+            return
+        if code == O.WRITE:
+            self.summary.writes += 1
+            for listener in self.listeners:
+                listener.on_write(tid, thread.op_index, op[1])
+            return
+        if code == O.LOCK:
+            addr = op[1]
+            lock = locks.setdefault(addr, _Lock())
+            if lock.holder is None:
+                lock.holder = tid
+                self.summary.lock_acquires += 1
+                for listener in self.listeners:
+                    listener.on_lock_acquired(tid, addr)
+            else:
+                # Covers self-deadlock too: a thread re-locking a lock it
+                # holds waits behind itself, and deadlock detection fires.
+                lock.waiters.append(tid)
+                thread.state = _State.BLOCKED
+                thread.blocked_on = f"LOCK({addr:#x})"
+            return
+        if code == O.UNLOCK:
+            addr = op[1]
+            lock = locks.get(addr)
+            if lock is None or lock.holder != tid:
+                if self.strict:
+                    holder = lock.holder if lock else None
+                    raise SimulationError(
+                        f"thread {tid} unlocked {addr:#x} held by {holder}"
+                    )
+                return
+            for listener in self.listeners:
+                listener.on_unlock(tid, addr)
+            if lock.waiters:
+                next_tid = lock.waiters.pop(0)
+                lock.holder = next_tid
+                self._wake(next_tid)
+                self.summary.lock_acquires += 1
+                for listener in self.listeners:
+                    listener.on_lock_acquired(next_tid, addr)
+            else:
+                lock.holder = None
+            return
+        if code == O.FLAG_SET:
+            addr = op[1]
+            self.summary.flag_sets += 1
+            for listener in self.listeners:
+                listener.on_flag_set(tid, addr)
+            flags_set.add(addr)
+            for waiter in flag_waiters.pop(addr, []):
+                self._wake(waiter)
+                for listener in self.listeners:
+                    listener.on_flag_passed(waiter, addr)
+            return
+        if code == O.FLAG_WAIT:
+            addr = op[1]
+            if addr in flags_set:
+                for listener in self.listeners:
+                    listener.on_flag_passed(tid, addr)
+            else:
+                flag_waiters.setdefault(addr, []).append(tid)
+                thread.state = _State.BLOCKED
+                thread.blocked_on = f"FLAG_WAIT({addr:#x})"
+            return
+        if code == O.BARRIER:
+            addr, participants = op[1], op[2]
+            barrier = barriers.setdefault(addr, _Barrier())
+            if not barrier.arrived:
+                barrier.participants = participants
+            elif barrier.participants != participants and self.strict:
+                raise SimulationError(
+                    f"barrier {addr:#x}: thread {tid} declared "
+                    f"{participants} participants, episode started with "
+                    f"{barrier.participants}"
+                )
+            barrier.arrived.append(tid)
+            if len(barrier.arrived) >= barrier.participants:
+                released = barrier.arrived
+                barriers[addr] = _Barrier()
+                self.summary.barrier_episodes += 1
+                for listener in self.listeners:
+                    listener.on_barrier_release(addr, released)
+                for other in released:
+                    if other != tid:
+                        self._wake(other)
+            else:
+                thread.state = _State.BLOCKED
+                thread.blocked_on = (
+                    f"BARRIER({addr:#x}, "
+                    f"{len(barrier.arrived)}/{barrier.participants})"
+                )
+            return
+        if self.strict:
+            raise SimulationError(
+                f"thread {tid} yielded unknown opcode {code!r}"
+            )
+
+    def _wake(self, tid: int) -> None:
+        # The scheduler only stores blocked threads in one wait list at a
+        # time, so a wake always targets a BLOCKED thread.
+        self._threads[tid].state = _State.RUNNABLE
+        self._threads[tid].blocked_on = ""
+
+
+def execute_program(
+    program: Program,
+    num_processes: int,
+    listeners: Sequence[OpListener] = (),
+    **kwargs,
+) -> ExecutionSummary:
+    """Convenience wrapper: build a :class:`LogicalExecutor` and run it."""
+    executor = LogicalExecutor(program, num_processes, listeners, **kwargs)
+    return executor.run()

@@ -1,0 +1,270 @@
+"""Static lint for Tango op streams.
+
+Applications communicate with the machine only through tuples from the
+small vocabulary in :mod:`repro.tango.ops`, and a malformed tuple fails
+deep inside the processor model with an unhelpful ``IndexError`` — or
+worse, silently simulates the wrong program (a BARRIER whose declared
+participant count exceeds the process count deadlocks; mismatched
+counts at the same barrier address corrupt episodes).  The linter
+validates each op structurally and tracks per-thread LOCK/UNLOCK
+pairing and cross-thread barrier agreement, producing
+:class:`LintIssue` records instead of crashes.
+
+Use :func:`lint_ops` for a plain iterable of ops, the
+:class:`OpLinter` listener to lint a live executor run, or
+:func:`lint_program` to unroll a whole :class:`~repro.tango.Program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.executor import LogicalExecutor, OpListener
+from repro.memlayout import SharedMemoryAllocator
+from repro.tango import ops as O
+
+ERROR = "error"
+WARNING = "warning"
+
+#: Expected tuple arity per opcode (opcode itself included).
+_ARITY = {
+    O.BUSY: 2,
+    O.READ: 2,
+    O.WRITE: 2,
+    O.PREFETCH: 3,
+    O.LOCK: 2,
+    O.UNLOCK: 2,
+    O.FLAG_WAIT: 2,
+    O.FLAG_SET: 2,
+    O.BARRIER: 3,
+}
+
+_ADDR_OPS = frozenset(
+    (O.READ, O.WRITE, O.PREFETCH, O.LOCK, O.UNLOCK,
+     O.FLAG_WAIT, O.FLAG_SET, O.BARRIER)
+)
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: ``severity`` is ``"error"`` or ``"warning"``."""
+
+    severity: str
+    thread: int
+    op_index: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.severity}] thread {self.thread} op #{self.op_index} "
+            f"{self.code}: {self.message}"
+        )
+
+
+class OpLinter(OpListener):
+    """Listener that lints every op the executor delivers."""
+
+    def __init__(
+        self, num_processes: int = 0,
+        allocator: Optional[SharedMemoryAllocator] = None,
+    ) -> None:
+        self.issues: List[LintIssue] = []
+        self.num_processes = num_processes
+        self._allocator = allocator
+        self._held: Dict[int, List[int]] = {}  # tid -> stack of lock addrs
+        self._barrier_counts: Dict[int, int] = {}  # addr -> first count seen
+        self._flags_set: Set[int] = set()
+        self._flags_waited: Dict[int, LintIssue] = {}
+
+    # -- listener hooks ------------------------------------------------------
+
+    def on_start(
+        self, allocator: SharedMemoryAllocator, num_processes: int
+    ) -> None:
+        self._allocator = allocator
+        self.num_processes = num_processes
+
+    def on_op(self, thread: int, index: int, op: tuple) -> None:
+        self.lint_one(thread, index, op)
+
+    def on_thread_done(self, thread: int) -> None:
+        for addr in self._held.get(thread, ()):
+            self._issue(
+                ERROR, thread, -1, "lock-left-held",
+                f"thread finished still holding lock {addr:#x}",
+            )
+        self._held.pop(thread, None)
+
+    def on_finish(self) -> None:
+        for addr, issue in self._flags_waited.items():
+            if addr not in self._flags_set:
+                self.issues.append(issue)
+
+    # -- per-op validation ---------------------------------------------------
+
+    def lint_one(self, thread: int, index: int, op) -> None:
+        if not isinstance(op, tuple):
+            self._issue(
+                ERROR, thread, index, "not-a-tuple",
+                f"yielded {type(op).__name__} {op!r}, expected an op tuple",
+            )
+            return
+        if not op:
+            self._issue(ERROR, thread, index, "empty-op", "empty tuple")
+            return
+        code = op[0]
+        arity = _ARITY.get(code)
+        if arity is None:
+            self._issue(
+                ERROR, thread, index, "unknown-opcode",
+                f"opcode {code!r} is not in the Tango vocabulary",
+            )
+            return
+        name = O.OPCODE_NAMES[code]
+        if len(op) != arity:
+            self._issue(
+                ERROR, thread, index, "bad-arity",
+                f"{name} takes {arity - 1} operand(s), got {len(op) - 1}",
+            )
+            return
+        if code == O.BUSY:
+            cycles = op[1]
+            if not isinstance(cycles, int) or isinstance(cycles, bool) \
+                    or cycles < 0:
+                self._issue(
+                    ERROR, thread, index, "bad-operand",
+                    f"BUSY cycle count must be a nonnegative int, "
+                    f"got {cycles!r}",
+                )
+            return
+        addr = op[1]
+        if not isinstance(addr, int) or isinstance(addr, bool) or addr < 0:
+            self._issue(
+                ERROR, thread, index, "bad-operand",
+                f"{name} address must be a nonnegative int, got {addr!r}",
+            )
+            return
+        if self._allocator is not None and code in _ADDR_OPS:
+            if self._allocator.region_of(addr) is None:
+                self._issue(
+                    ERROR, thread, index, "unmapped-addr",
+                    f"{name} targets {addr:#x}, which is outside every "
+                    f"allocated region",
+                )
+        if code == O.PREFETCH:
+            exclusive = op[2]
+            if not isinstance(exclusive, bool):
+                self._issue(
+                    ERROR, thread, index, "bad-operand",
+                    f"PREFETCH exclusive flag must be a bool, "
+                    f"got {exclusive!r}",
+                )
+            return
+        if code == O.LOCK:
+            held = self._held.setdefault(thread, [])
+            if addr in held:
+                self._issue(
+                    ERROR, thread, index, "recursive-lock",
+                    f"LOCK {addr:#x} while already holding it "
+                    f"(locks are not reentrant; this self-deadlocks)",
+                )
+            held.append(addr)
+            return
+        if code == O.UNLOCK:
+            held = self._held.setdefault(thread, [])
+            if addr not in held:
+                self._issue(
+                    ERROR, thread, index, "unlock-without-lock",
+                    f"UNLOCK {addr:#x} without a matching LOCK in this "
+                    f"thread",
+                )
+            else:
+                held.remove(addr)
+            return
+        if code == O.FLAG_SET:
+            self._flags_set.add(addr)
+            return
+        if code == O.FLAG_WAIT:
+            if addr not in self._flags_set and addr not in self._flags_waited:
+                # Deferred: only reported if no thread ever sets the flag.
+                self._flags_waited[addr] = LintIssue(
+                    ERROR, thread, index, "flag-never-set",
+                    f"FLAG_WAIT on {addr:#x} but no thread ever issues "
+                    f"FLAG_SET for it",
+                )
+            return
+        if code == O.BARRIER:
+            participants = op[2]
+            if not isinstance(participants, int) \
+                    or isinstance(participants, bool) or participants <= 0:
+                self._issue(
+                    ERROR, thread, index, "bad-operand",
+                    f"BARRIER participant count must be a positive int, "
+                    f"got {participants!r}",
+                )
+                return
+            if self.num_processes and participants > self.num_processes:
+                self._issue(
+                    ERROR, thread, index, "barrier-overcommit",
+                    f"BARRIER {addr:#x} declares {participants} "
+                    f"participants but only {self.num_processes} "
+                    f"process(es) exist (guaranteed deadlock)",
+                )
+            first = self._barrier_counts.setdefault(addr, participants)
+            if first != participants:
+                self._issue(
+                    ERROR, thread, index, "barrier-mismatch",
+                    f"BARRIER {addr:#x} declares {participants} "
+                    f"participants; other ops declared {first}",
+                )
+            return
+
+    # -- helpers -------------------------------------------------------------
+
+    def _issue(
+        self, severity: str, thread: int, index: int, code: str, message: str
+    ) -> None:
+        self.issues.append(LintIssue(severity, thread, index, code, message))
+
+    @property
+    def errors(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity == ERROR]
+
+    def format_issues(self) -> str:
+        if not self.issues:
+            return "op-stream lint: clean"
+        lines = [f"op-stream lint: {len(self.issues)} issue(s):"]
+        lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+def lint_ops(
+    ops: Iterable,
+    thread: int = 0,
+    num_processes: int = 0,
+    allocator: Optional[SharedMemoryAllocator] = None,
+) -> List[LintIssue]:
+    """Lint a plain iterable of op tuples from one thread."""
+    linter = OpLinter(num_processes=num_processes, allocator=allocator)
+    index = -1
+    for index, op in enumerate(ops):
+        linter.lint_one(thread, index, op)
+    linter.on_thread_done(thread)
+    linter.on_finish()
+    return linter.issues
+
+
+def lint_program(program, num_processes: int, **kwargs) -> List[LintIssue]:
+    """Execute ``program`` logically and lint its full op streams.
+
+    Runs non-strict so the linter records malformed ops rather than the
+    executor raising on them.
+    """
+    linter = OpLinter()
+    executor = LogicalExecutor(
+        program, num_processes, listeners=[linter], strict=False, **kwargs
+    )
+    executor.run()
+    return linter.issues

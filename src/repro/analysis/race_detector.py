@@ -1,0 +1,209 @@
+"""Vector-clock data-race detection over Tango op streams.
+
+The detector is an :class:`~repro.analysis.executor.OpListener` that
+builds happens-before from the synchronization the executor observes —
+lock hand-offs, flag set/wait pairs, and barrier episodes — and flags
+READ/WRITE pairs to the same address that conflict without an ordering
+edge.  The per-address state follows the FastTrack shape: one *write
+epoch* (the last write always happens-after every earlier access that
+was properly synchronized, so one epoch suffices) plus a read map that
+collapses back to empty at each write.
+
+For this simulator's workloads the interesting validation cases are
+MP3D — whose move phase updates space-cell state without locks, a
+deliberate data race the paper calls out as acceptable to the
+application — and LU, whose pivot-column flags make it race-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.executor import OpListener
+from repro.analysis.vector_clock import Epoch, VectorClock, join_all
+from repro.memlayout import SharedMemoryAllocator
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """One memory access: which thread, and where in its op stream."""
+
+    thread: int
+    op_index: int
+
+    def __str__(self) -> str:
+        return f"thread {self.thread} (op #{self.op_index})"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two unsynchronized conflicting accesses to one address."""
+
+    addr: int
+    region: Optional[str]
+    kind: str  # "write-write", "write-read", or "read-write"
+    prior: AccessSite
+    current: AccessSite
+
+    def __str__(self) -> str:
+        where = f"{self.addr:#x}"
+        if self.region:
+            where += f" in region '{self.region}'"
+        return (
+            f"{self.kind} race on {where}: {self.prior} is unordered "
+            f"with {self.current}"
+        )
+
+
+@dataclass
+class _AddressState:
+    """Last-writer epoch + concurrent-reader clock for one address."""
+
+    write: Optional[Tuple[Epoch, int]] = None  # (epoch, op_index)
+    reads: Optional[Dict[int, Tuple[int, int]]] = None  # tid -> (clock, idx)
+
+
+class RaceDetector(OpListener):
+    """Happens-before race detection listener.
+
+    Feed it to :func:`~repro.analysis.executor.execute_program`; after
+    the run, ``reports`` holds deduplicated races (capped at
+    ``max_reports``) and ``races_found`` the total count including
+    duplicates of the same (address, kind, thread-pair) signature.
+    """
+
+    def __init__(self, max_reports: int = 50) -> None:
+        self.max_reports = max_reports
+        self.reports: List[RaceReport] = []
+        self.races_found = 0
+        self._clocks: Dict[int, VectorClock] = {}
+        self._locks: Dict[int, VectorClock] = {}
+        self._flags: Dict[int, VectorClock] = {}
+        self._addresses: Dict[int, _AddressState] = {}
+        self._allocator: Optional[SharedMemoryAllocator] = None
+        self._seen: Set[Tuple[int, str, int, int]] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_start(
+        self, allocator: SharedMemoryAllocator, num_processes: int
+    ) -> None:
+        self._allocator = allocator
+        for tid in range(num_processes):
+            clock = VectorClock()
+            clock.tick(tid)
+            self._clocks[tid] = clock
+
+    # -- synchronization edges -----------------------------------------------
+
+    def on_lock_acquired(self, thread: int, addr: int) -> None:
+        released = self._locks.get(addr)
+        if released is not None:
+            self._clocks[thread].join(released)
+
+    def on_unlock(self, thread: int, addr: int) -> None:
+        clock = self._clocks[thread]
+        self._locks[addr] = clock.copy()
+        clock.tick(thread)
+
+    def on_flag_set(self, thread: int, addr: int) -> None:
+        clock = self._clocks[thread]
+        flag = self._flags.setdefault(addr, VectorClock())
+        flag.join(clock)
+        clock.tick(thread)
+
+    def on_flag_passed(self, thread: int, addr: int) -> None:
+        flag = self._flags.get(addr)
+        if flag is not None:
+            self._clocks[thread].join(flag)
+
+    def on_barrier_release(self, addr: int, threads: Sequence[int]) -> None:
+        merged = join_all(self._clocks[t] for t in threads)
+        for tid in threads:
+            clock = merged.copy()
+            clock.tick(tid)
+            self._clocks[tid] = clock
+
+    # -- conflicting accesses ------------------------------------------------
+
+    def on_read(self, thread: int, index: int, addr: int) -> None:
+        clock = self._clocks[thread]
+        state = self._addresses.get(addr)
+        if state is None:
+            state = _AddressState()
+            self._addresses[addr] = state
+        if state.write is not None:
+            epoch, write_index = state.write
+            if epoch[0] != thread and not clock.dominates_epoch(epoch):
+                self._report(
+                    addr,
+                    "write-read",
+                    AccessSite(epoch[0], write_index),
+                    AccessSite(thread, index),
+                )
+        if state.reads is None:
+            state.reads = {}
+        state.reads[thread] = (clock.get(thread), index)
+
+    def on_write(self, thread: int, index: int, addr: int) -> None:
+        clock = self._clocks[thread]
+        state = self._addresses.get(addr)
+        if state is None:
+            state = _AddressState()
+            self._addresses[addr] = state
+        if state.write is not None:
+            epoch, write_index = state.write
+            if epoch[0] != thread and not clock.dominates_epoch(epoch):
+                self._report(
+                    addr,
+                    "write-write",
+                    AccessSite(epoch[0], write_index),
+                    AccessSite(thread, index),
+                )
+        if state.reads:
+            for reader, (value, read_index) in state.reads.items():
+                if reader != thread and not clock.dominates_epoch(
+                    (reader, value)
+                ):
+                    self._report(
+                        addr,
+                        "read-write",
+                        AccessSite(reader, read_index),
+                        AccessSite(thread, index),
+                    )
+        state.write = (clock.epoch(thread), index)
+        state.reads = None
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(
+        self, addr: int, kind: str, prior: AccessSite, current: AccessSite
+    ) -> None:
+        self.races_found += 1
+        pair = tuple(sorted((prior.thread, current.thread)))
+        signature = (addr, kind, pair[0], pair[1])
+        if signature in self._seen or len(self.reports) >= self.max_reports:
+            return
+        self._seen.add(signature)
+        region = None
+        if self._allocator is not None:
+            found = self._allocator.region_of(addr)
+            if found is not None:
+                region = found.name
+        self.reports.append(
+            RaceReport(
+                addr=addr, region=region, kind=kind,
+                prior=prior, current=current,
+            )
+        )
+
+    def format_reports(self) -> str:
+        if not self.reports:
+            return "no data races detected"
+        lines = [
+            f"{self.races_found} racy access pair(s); "
+            f"{len(self.reports)} distinct signature(s):"
+        ]
+        lines.extend(f"  - {report}" for report in self.reports)
+        return "\n".join(lines)

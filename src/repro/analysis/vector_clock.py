@@ -1,0 +1,82 @@
+"""Vector clocks for happens-before tracking.
+
+A vector clock maps thread ids to logical epochs.  Thread ``t``'s clock
+``C_t`` summarizes everything that happens-before ``t``'s next action;
+synchronization objects carry their own clocks that are joined into an
+acquiring thread's clock (the standard Mattern/Fidge construction, as
+used by dynamic race detectors in the FastTrack family).
+
+An *epoch* ``(t, c)`` names one event: the ``c``-th increment of thread
+``t``.  Epoch ``(t, c)`` happens-before a clock ``C`` iff ``c <=
+C[t]`` — the constant-time test that keeps per-address race checks
+cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+#: One event: (thread id, that thread's clock component at the event).
+Epoch = Tuple[int, int]
+
+
+class VectorClock:
+    """A mutable vector clock over integer thread ids."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Optional[Dict[int, int]] = None) -> None:
+        self._clock: Dict[int, int] = dict(clock) if clock else {}
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clock)
+
+    def get(self, thread: int) -> int:
+        return self._clock.get(thread, 0)
+
+    def tick(self, thread: int) -> Epoch:
+        """Advance ``thread``'s component; return the new epoch."""
+        value = self._clock.get(thread, 0) + 1
+        self._clock[thread] = value
+        return (thread, value)
+
+    def epoch(self, thread: int) -> Epoch:
+        """The current epoch of ``thread`` under this clock."""
+        return (thread, self._clock.get(thread, 0))
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum: absorb everything ``other`` has seen."""
+        clock = self._clock
+        for thread, value in other._clock.items():
+            if value > clock.get(thread, 0):
+                clock[thread] = value
+
+    def dominates_epoch(self, epoch: Epoch) -> bool:
+        """True iff the event named by ``epoch`` happens-before this
+        clock (``epoch.value <= self[epoch.thread]``)."""
+        thread, value = epoch
+        return value <= self._clock.get(thread, 0)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._clock.items()
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(v <= other.get(t) for t, v in self._clock.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        threads = set(self._clock) | set(other._clock)
+        return all(self.get(t) == other.get(t) for t in threads)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self._clock.items()))
+        return f"VC({inner})"
+
+
+def join_all(clocks: Iterable[VectorClock]) -> VectorClock:
+    """Pointwise maximum of several clocks (barrier release)."""
+    merged = VectorClock()
+    for clock in clocks:
+        merged.join(clock)
+    return merged

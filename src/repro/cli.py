@@ -130,6 +130,105 @@ def _print_summary(runner: ExperimentRunner) -> None:
     )
 
 
+_CHECKS = ("lint", "races", "litmus", "invariants")
+_CHECK_APPS = ("MP3D", "LU", "PTHOR")
+
+
+def _check_programs(app: str):
+    """Small (app name, program, processes) triples for ``repro check``."""
+    from repro.apps.lu.app import LUConfig, lu_program
+    from repro.apps.mp3d.app import MP3DConfig, mp3d_program
+    from repro.apps.pthor.app import PTHORConfig, pthor_program
+
+    builders = {
+        "MP3D": lambda: mp3d_program(
+            MP3DConfig(num_particles=200, space_x=5, space_y=8,
+                       space_z=3, time_steps=2)
+        ),
+        "LU": lambda: lu_program(LUConfig(n=16)),
+        "PTHOR": lambda: pthor_program(
+            PTHORConfig(num_gates=200, clock_cycles=2)
+        ),
+    }
+    names = _CHECK_APPS if app == "all" else (app,)
+    return [(name, builders[name](), 8) for name in names]
+
+
+def run_check(app: str, checks: List[str], verbose: bool = False) -> int:
+    """The ``repro check`` subcommand: op-stream lint, race detection,
+    litmus consistency checks, and a sanitized simulation.  Returns a
+    nonzero exit status on lint errors, litmus violations, or invariant
+    failures; data races are reported but do not fail the check (MP3D's
+    move-phase races are benign and acknowledged by the paper)."""
+    from repro.analysis.executor import LogicalExecutor
+    from repro.analysis.oplint import OpLinter
+    from repro.analysis.race_detector import RaceDetector
+    from repro.sim.engine import SimulationError
+
+    failed = False
+
+    if "lint" in checks or "races" in checks:
+        for name, program, processes in _check_programs(app):
+            linter = OpLinter()
+            detector = RaceDetector()
+            listeners = []
+            if "lint" in checks:
+                listeners.append(linter)
+            if "races" in checks:
+                listeners.append(detector)
+            summary = LogicalExecutor(
+                program, processes, listeners=listeners, strict=False
+            ).run()
+            print(f"[{name}] {summary.ops_executed} ops from "
+                  f"{summary.num_threads} threads")
+            if "lint" in checks:
+                print(f"  {linter.format_issues()}")
+                if linter.errors:
+                    failed = True
+            if "races" in checks:
+                print(f"  {detector.format_reports()}")
+                if verbose:
+                    for report in detector.reports:
+                        print(f"    {report}")
+
+    if "litmus" in checks:
+        from repro.analysis.litmus import run_suite
+
+        results = run_suite()
+        bad = [result for result in results if not result.ok]
+        print(f"[litmus] {len(results)} (test, model) pairs, "
+              f"{len(bad)} violation(s)")
+        for result in bad:
+            print(f"  {result.explain()}")
+            failed = True
+        if verbose:
+            for result in results:
+                print(f"  {result.test.name} {result.model.name}: "
+                      f"{sorted(result.observed)}")
+
+    if "invariants" in checks:
+        from repro.config import dash_scaled_config
+        from repro.system import Machine
+
+        for name, program, processes in _check_programs(app):
+            config = dash_scaled_config(
+                num_processors=processes, sanitize=True
+            )
+            machine = Machine(config)
+            machine.load(program)
+            try:
+                machine.run()
+            except SimulationError as exc:
+                print(f"[invariants] {name}: FAILED\n{exc}")
+                failed = True
+            else:
+                print(f"[invariants] {name}: ok "
+                      f"({machine.sanitizer.checks_performed} checks)")
+
+    print("check: FAILED" if failed else "check: ok")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-1991",
@@ -142,8 +241,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "what",
         choices=["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
-                 "summary", "all"],
-        help="which artifact to regenerate",
+                 "summary", "all", "check"],
+        help="which artifact to regenerate, or 'check' to run the "
+             "analysis suite (lint, races, litmus, invariants)",
     )
     parser.add_argument(
         "--scale",
@@ -152,9 +252,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="workload scale (paper = the full data sets; slow)",
     )
     parser.add_argument(
+        "--app",
+        choices=["MP3D", "LU", "PTHOR", "all"],
+        default="all",
+        help="application(s) for the 'check' subcommand",
+    )
+    parser.add_argument(
+        "--checks",
+        default="lint,races,litmus,invariants",
+        help="comma-separated subset of checks to run: "
+             + ",".join(_CHECKS),
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each simulation run"
     )
     args = parser.parse_args(argv)
+
+    if args.what == "check":
+        checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+        unknown = set(checks) - set(_CHECKS)
+        if unknown:
+            parser.error(f"unknown checks: {', '.join(sorted(unknown))}")
+        return run_check(args.app, checks, verbose=args.verbose)
 
     runner = ExperimentRunner(scale=args.scale, verbose=args.verbose)
     targets = (

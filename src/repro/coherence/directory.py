@@ -18,6 +18,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
+from repro.sim.engine import SimulationError
+
 
 class DirState(enum.IntEnum):
     UNOWNED = 0   # memory at the home node has the only valid copy
@@ -34,12 +36,29 @@ class DirectoryEntry:
     owner: Optional[int] = None
 
     def check(self) -> None:
+        """Validate the entry's internal consistency.
+
+        Raises :class:`~repro.sim.engine.SimulationError` (not a bare
+        ``assert``) so the invariant survives ``python -O``.
+        """
         if self.state == DirState.UNOWNED:
-            assert not self.sharers and self.owner is None
+            if self.sharers or self.owner is not None:
+                raise SimulationError(
+                    f"UNOWNED directory entry with sharers={self.sharers} "
+                    f"owner={self.owner}"
+                )
         elif self.state == DirState.SHARED:
-            assert self.sharers and self.owner is None
+            if not self.sharers or self.owner is not None:
+                raise SimulationError(
+                    f"SHARED directory entry with sharers={self.sharers} "
+                    f"owner={self.owner}"
+                )
         else:
-            assert self.owner is not None and not self.sharers
+            if self.owner is None or self.sharers:
+                raise SimulationError(
+                    f"DIRTY directory entry with sharers={self.sharers} "
+                    f"owner={self.owner}"
+                )
 
 
 class Directory:
@@ -55,6 +74,10 @@ class Directory:
             entry = DirectoryEntry()
             self._entries[line] = entry
         return entry
+
+    def peek(self, line: int) -> Optional[DirectoryEntry]:
+        """Entry for ``line`` if one exists, without creating it."""
+        return self._entries.get(line)
 
     def known_lines(self):
         return list(self._entries)

@@ -29,6 +29,7 @@ from repro.coherence.directory import Directory, DirState
 from repro.config import MachineConfig
 from repro.interconnect import Interconnect
 from repro.memlayout import SharedMemoryAllocator
+from repro.sim.engine import SimulationError
 
 
 class AccessClass(enum.Enum):
@@ -445,33 +446,59 @@ class CoherenceProtocol:
     # -- invariants (used by tests) --------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert global coherence invariants over all state."""
+        """Check global coherence invariants over all state.
+
+        Raises :class:`~repro.sim.engine.SimulationError` on violation
+        (not a bare ``assert``, so the checks survive ``python -O``).
+        """
         num_nodes = len(self.caches)
         dirty_holders = {}
         sharers_seen = {}
         for node in range(num_nodes):
             for line, state in self.caches[node].secondary.resident_lines():
                 if state == LineState.DIRTY:
-                    assert line not in dirty_holders, (
-                        f"two dirty copies of line {line:#x}"
-                    )
+                    if line in dirty_holders:
+                        raise SimulationError(
+                            f"two dirty copies of line {line:#x} "
+                            f"(nodes {dirty_holders[line]} and {node})"
+                        )
                     dirty_holders[line] = node
                 sharers_seen.setdefault(line, set()).add(node)
             for line, _state in self.caches[node].primary.resident_lines():
-                assert (
-                    self.caches[node].secondary.probe(line) != LineState.INVALID
-                ), f"primary/secondary inclusion violated for line {line:#x}"
+                if self.caches[node].secondary.probe(line) == LineState.INVALID:
+                    raise SimulationError(
+                        f"primary/secondary inclusion violated for line "
+                        f"{line:#x} at node {node}"
+                    )
         for home in range(num_nodes):
             for line in self.directories[home].known_lines():
                 entry = self.directories[home].entry(line)
+                entry.check()
                 holders = sharers_seen.get(line, set())
                 if entry.state == DirState.DIRTY:
-                    assert dirty_holders.get(line) == entry.owner
-                    assert holders == {entry.owner}
+                    if dirty_holders.get(line) != entry.owner:
+                        raise SimulationError(
+                            f"line {line:#x} DIRTY with owner {entry.owner} "
+                            f"but dirty copy at {dirty_holders.get(line)}"
+                        )
+                    if holders != {entry.owner}:
+                        raise SimulationError(
+                            f"line {line:#x} DIRTY at owner {entry.owner} "
+                            f"but cached by {holders}"
+                        )
                 elif entry.state == DirState.SHARED:
-                    assert line not in dirty_holders
-                    assert holders == entry.sharers
+                    if line in dirty_holders:
+                        raise SimulationError(
+                            f"line {line:#x} SHARED in directory but dirty "
+                            f"at node {dirty_holders[line]}"
+                        )
+                    if holders != entry.sharers:
+                        raise SimulationError(
+                            f"line {line:#x} sharers {entry.sharers} do not "
+                            f"match cached copies {holders}"
+                        )
                 else:
-                    assert not holders, (
-                        f"line {line:#x} UNOWNED but cached by {holders}"
-                    )
+                    if holders:
+                        raise SimulationError(
+                            f"line {line:#x} UNOWNED but cached by {holders}"
+                        )

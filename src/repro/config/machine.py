@@ -181,6 +181,14 @@ class MachineConfig:
     consistency: Consistency = Consistency.SC
     caching_shared_data: bool = True
 
+    #: Enable the coherence invariant sanitizer (``repro.analysis``):
+    #: every protocol transaction is followed by SWMR / directory
+    #: precision / buffer-bound checks, and violations raise
+    #: :class:`~repro.sim.engine.SimulationError` with a transition
+    #: trace.  Off by default — it costs roughly an order of magnitude
+    #: in simulation speed.
+    sanitize: bool = False
+
     primary_cache: CacheGeometry = CacheGeometry(size_bytes=2 * 1024)
     secondary_cache: CacheGeometry = CacheGeometry(size_bytes=4 * 1024)
 

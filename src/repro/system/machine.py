@@ -93,6 +93,14 @@ class Machine:
         ]
         self._program: Optional[Program] = None
 
+        # Invariant sanitizer (off by default): imported lazily so the
+        # analysis package stays entirely out of ordinary runs.
+        self.sanitizer = None
+        if config.sanitize:
+            from repro.analysis.invariants import CoherenceSanitizer
+
+            self.sanitizer = CoherenceSanitizer(self).install()
+
     # -- loading --------------------------------------------------------------
 
     def load(self, program: Program) -> None:

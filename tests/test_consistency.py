@@ -1,6 +1,8 @@
 """Tests for the consistency policy switches and their observable
 end-to-end semantics."""
 
+import pytest
+
 from repro.config import Consistency, ContentionConfig, dash_scaled_config
 from repro.consistency import ConsistencyPolicy, policy_for
 from repro.system import Machine, run_program
@@ -155,3 +157,47 @@ class TestIntermediateModels:
         reference = worlds[Consistency.SC]
         for model, columns in worlds.items():
             assert columns == reference, model
+
+
+class TestLitmusMatrix:
+    """Litmus programs through the full machine under every model.
+
+    Uses the analysis package's litmus runner: outcomes are derived from
+    protocol timestamps (a read performs at issue, a write at retire),
+    and each (test, model) pair is run over a set of start-skew
+    schedules.  Forbidden outcomes must never appear; required outcomes
+    (the model's characteristic relaxation or strength) must appear.
+    """
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        from repro.analysis.litmus import standard_suite
+
+        return {test.name: test for test in standard_suite()}
+
+    @pytest.mark.parametrize("model", list(Consistency))
+    @pytest.mark.parametrize(
+        "name", ["SB", "SB_locked", "MP_plain", "MP_flag", "IRIW"]
+    )
+    def test_litmus(self, suite, name, model):
+        from repro.analysis.litmus import run_litmus
+
+        result = run_litmus(suite[name], model)
+        assert result.ok, result.explain()
+
+    def test_sb_distinguishes_sc_from_buffered_models(self, suite):
+        """The (0, 0) store-buffering outcome is the observable
+        difference between SC and every write-buffered model."""
+        from repro.analysis.litmus import run_litmus
+
+        sc = run_litmus(suite["SB"], Consistency.SC)
+        assert (0, 0) not in sc.observed
+        for model in (Consistency.PC, Consistency.WC, Consistency.RC):
+            relaxed = run_litmus(suite["SB"], model)
+            assert (0, 0) in relaxed.observed, model
+
+    def test_verify_litmus_passes(self):
+        from repro.analysis.litmus import verify_litmus
+
+        results = verify_litmus()
+        assert len(results) == 20  # 5 tests x 4 models

@@ -182,3 +182,26 @@ def test_extras_and_metadata():
     assert result.num_processors == 2
     assert result.events_processed > 0
     assert result.shared_data_bytes > 0
+
+
+def test_deadlock_when_barrier_participant_never_arrives():
+    """Regression: a barrier sized for all processes deadlocks — with a
+    DeadlockError, not a hang or silent exit — when one thread finishes
+    without ever reaching it (missing participant)."""
+
+    def setup(allocator, num_processes):
+        return {"sync": allocator.alloc_round_robin("sync", 4096)}
+
+    def factory(world, env):
+        def thread():
+            yield (O.BUSY, 10)
+            if env.process_id == 0:
+                return  # exits without arriving at the barrier
+            yield (O.BARRIER, world["sync"].addr(0), env.num_processes)
+
+        return thread()
+
+    machine = Machine(dash_scaled_config(num_processors=4))
+    machine.load(Program("missing-participant", setup, factory))
+    with pytest.raises(DeadlockError, match="blocked"):
+        machine.run()
