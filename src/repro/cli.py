@@ -130,31 +130,77 @@ def _print_summary(runner: ExperimentRunner) -> None:
     )
 
 
-_CHECKS = ("lint", "races", "litmus", "invariants")
+_CHECKS = ("lint", "races", "litmus", "invariants", "faults")
 _CHECK_APPS = ("MP3D", "LU", "PTHOR")
 
 
 def _check_programs(app: str):
     """Small (app name, program, processes) triples for ``repro check``."""
-    from repro.apps.lu.app import LUConfig, lu_program
-    from repro.apps.mp3d.app import MP3DConfig, mp3d_program
-    from repro.apps.pthor.app import PTHORConfig, pthor_program
+    from repro.experiments.registry import SMOKE_PROCESSES, smoke_program
 
-    builders = {
-        "MP3D": lambda: mp3d_program(
-            MP3DConfig(num_particles=200, space_x=5, space_y=8,
-                       space_z=3, time_steps=2)
-        ),
-        "LU": lambda: lu_program(LUConfig(n=16)),
-        "PTHOR": lambda: pthor_program(
-            PTHORConfig(num_gates=200, clock_cycles=2)
-        ),
-    }
     names = _CHECK_APPS if app == "all" else (app,)
-    return [(name, builders[name](), 8) for name in names]
+    return [(name, smoke_program(name), SMOKE_PROCESSES) for name in names]
 
 
-def run_check(app: str, checks: List[str], verbose: bool = False) -> int:
+def run_fault_matrix(
+    app: str,
+    fault_level: str,
+    seed: int = 0,
+    max_events: Optional[int] = None,
+    verbose: bool = False,
+) -> int:
+    """The ``check --faults`` matrix: run each smoke app under a seeded
+    fault plan with the coherence sanitizer armed and a wall-clock
+    watchdog, supervised so one failing configuration does not take the
+    others down.  Returns nonzero if any configuration failed."""
+    from repro.config import dash_scaled_config
+    from repro.experiments.registry import SMOKE_PROCESSES, smoke_program
+    from repro.experiments.supervisor import ExperimentSupervisor
+    from repro.faults import FaultPlan, Watchdog
+    from repro.system import run_program
+
+    plan = FaultPlan.preset(fault_level, seed=seed)
+    config = dash_scaled_config(
+        num_processors=SMOKE_PROCESSES,
+        sanitize=True,
+        seed=seed,
+        max_events=max_events,
+        fault_plan=plan,
+    )
+    names = _CHECK_APPS if app == "all" else (app,)
+    supervisor = ExperimentSupervisor(
+        watchdog_factory=lambda: Watchdog(wall_clock_limit_s=90.0),
+        verbose=verbose,
+    )
+    jobs = [
+        (
+            name,
+            (lambda n: lambda watchdog=None: run_program(
+                smoke_program(n), config, watchdog=watchdog
+            ))(name),
+        )
+        for name in names
+    ]
+    report = supervisor.run_sweep(f"faults-{fault_level}", jobs)
+    print(f"[faults] plan={fault_level} seed={seed}")
+    for entry in report.entries:
+        if entry.ok:
+            print(f"  {entry.name}: {entry.status.value} — "
+                  f"{entry.result.faults.summary()}")
+        else:
+            print(f"  {entry.name}: FAILED — {entry.error.splitlines()[0]}")
+    print(f"  {report.format().splitlines()[0]}")
+    return 0 if report.ok else 1
+
+
+def run_check(
+    app: str,
+    checks: List[str],
+    verbose: bool = False,
+    fault_level: str = "smoke",
+    seed: int = 0,
+    max_events: Optional[int] = None,
+) -> int:
     """The ``repro check`` subcommand: op-stream lint, race detection,
     litmus consistency checks, and a sanitized simulation.  Returns a
     nonzero exit status on lint errors, litmus violations, or invariant
@@ -212,7 +258,8 @@ def run_check(app: str, checks: List[str], verbose: bool = False) -> int:
 
         for name, program, processes in _check_programs(app):
             config = dash_scaled_config(
-                num_processors=processes, sanitize=True
+                num_processors=processes, sanitize=True,
+                seed=seed, max_events=max_events,
             )
             machine = Machine(config)
             machine.load(program)
@@ -224,6 +271,12 @@ def run_check(app: str, checks: List[str], verbose: bool = False) -> int:
             else:
                 print(f"[invariants] {name}: ok "
                       f"({machine.sanitizer.checks_performed} checks)")
+
+    if "faults" in checks:
+        if run_fault_matrix(
+            app, fault_level, seed=seed, max_events=max_events, verbose=verbose
+        ):
+            failed = True
 
     print("check: FAILED" if failed else "check: ok")
     return 1 if failed else 0
@@ -259,9 +312,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--checks",
-        default="lint,races,litmus,invariants",
+        default=None,
         help="comma-separated subset of checks to run: "
-             + ",".join(_CHECKS),
+             + ",".join(_CHECKS)
+             + " (default: lint,races,litmus,invariants; just 'faults' "
+             "when --faults is given)",
+    )
+    parser.add_argument(
+        "--faults",
+        choices=["none", "smoke", "heavy"],
+        default="none",
+        help="fault plan for the 'faults' check: run the smoke apps "
+             "under seeded message faults (drops, delays, duplicates, "
+             "directory NACKs) with the coherence sanitizer armed",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed threaded into MachineConfig: makes fault "
+             "plans and their retry schedules reproducible",
+    )
+    parser.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="event-engine livelock guard: abort any single run after "
+             "N events instead of the default 2e9",
     )
     parser.add_argument(
         "--verbose", action="store_true", help="log each simulation run"
@@ -269,19 +347,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.what == "check":
-        checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+        if args.checks is not None:
+            checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+        elif args.faults != "none":
+            checks = ["faults"]  # dedicated fault-matrix invocation
+        else:
+            checks = ["lint", "races", "litmus", "invariants"]
         unknown = set(checks) - set(_CHECKS)
         if unknown:
             parser.error(f"unknown checks: {', '.join(sorted(unknown))}")
-        return run_check(args.app, checks, verbose=args.verbose)
+        fault_level = args.faults if args.faults != "none" else "smoke"
+        return run_check(
+            args.app,
+            checks,
+            verbose=args.verbose,
+            fault_level=fault_level,
+            seed=args.seed,
+            max_events=args.max_events,
+        )
 
-    runner = ExperimentRunner(scale=args.scale, verbose=args.verbose)
+    runner = ExperimentRunner(
+        scale=args.scale,
+        verbose=args.verbose,
+        seed=args.seed,
+        max_events=args.max_events,
+    )
     targets = (
         ["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "summary"]
         if args.what == "all"
         else [args.what]
     )
-    for target in targets:
+
+    def render(target: str) -> None:
         if target == "table1":
             _print_table1()
         elif target == "table2":
@@ -291,6 +388,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             _print_figure(target, runner)
         print()
+
+    if args.what == "all":
+        # Supervised: one failing artifact still lets the rest print,
+        # and the partial report names the casualty.
+        from repro.experiments.supervisor import ExperimentSupervisor
+
+        supervisor = ExperimentSupervisor()
+        report = supervisor.run_sweep(
+            "all-artifacts",
+            [(t, (lambda tt: lambda: render(tt))(t)) for t in targets],
+        )
+        if not report.ok:
+            print(report.format())
+            return 1
+        return 0
+
+    render(targets[0])
     return 0
 
 

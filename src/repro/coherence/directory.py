@@ -67,6 +67,13 @@ class Directory:
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self._entries: Dict[int, DirectoryEntry] = {}
+        #: Requests this directory bounced back to the requester (only
+        #: nonzero when a fault plan injects directory NACKs).
+        self.nacks_sent = 0
+
+    def note_nack(self, line: int) -> None:
+        """Record that this directory NACKed a request for ``line``."""
+        self.nacks_sent += 1
 
     def entry(self, line: int) -> DirectoryEntry:
         entry = self._entries.get(line)

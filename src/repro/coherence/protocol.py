@@ -128,6 +128,40 @@ class CoherenceProtocol:
     def home_of(self, line: int) -> int:
         return self.allocator.home_of(line)
 
+    def crosses_node_boundary(
+        self, kind: str, node: int, addr: int, exclusive: bool = False
+    ) -> bool:
+        """Would this access reach past the issuing processor's caches
+        into the memory system (bus, directory, network) — and thus be
+        exposed to message faults?
+
+        Pure probe — consults the caches without touching LRU or
+        directory state, so the fault layer can ask before committing a
+        transaction.  ``kind`` is one of ``read``, ``write``,
+        ``prefetch``, ``read_uncached``, ``write_uncached``.
+        """
+        line = self.line_of(addr)
+        caches = self.caches[node]
+        if kind == "read":
+            return (
+                caches.primary.probe(line) == LineState.INVALID
+                and caches.secondary.probe(line) == LineState.INVALID
+            )
+        if kind == "write":
+            return caches.secondary.probe(line) != LineState.DIRTY
+        if kind == "prefetch":
+            state = caches.secondary.probe(line)
+            if state == LineState.DIRTY:
+                return False  # discarded, no traffic
+            if state == LineState.SHARED and not exclusive:
+                return False  # discarded, no traffic
+            return True
+        if kind in ("read_uncached", "write_uncached"):
+            # Uncached accesses always reach memory; only remote homes
+            # put a message on the network.
+            return self.home_of(line) != node
+        raise ValueError(f"unknown access kind {kind!r}")
+
     def _install_primary(self, node: int, line: int) -> None:
         # Primary evictions are silent: the cache is write-through, so a
         # clean copy can always be dropped without directory action.

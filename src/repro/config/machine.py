@@ -32,6 +32,10 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle
+    from repro.faults.plan import FaultPlan
 
 
 class Consistency(enum.Enum):
@@ -189,6 +193,20 @@ class MachineConfig:
     #: in simulation speed.
     sanitize: bool = False
 
+    #: Master seed for the run: mixed into the fault plan's random
+    #: stream so ``--seed`` reproduces an injection schedule exactly.
+    #: The simulator itself is deterministic with or without it.
+    seed: int = 0
+
+    #: Override of the event engine's livelock guard
+    #: (:data:`~repro.sim.engine.DEFAULT_EVENT_LIMIT` when ``None``).
+    max_events: Optional[int] = None
+
+    #: Message-fault injection plan (``repro.faults``).  ``None`` or an
+    #: empty plan installs no fault layer at all, which keeps fault-free
+    #: runs bit-identical to builds without the faults subsystem.
+    fault_plan: Optional["FaultPlan"] = None
+
     primary_cache: CacheGeometry = CacheGeometry(size_bytes=2 * 1024)
     secondary_cache: CacheGeometry = CacheGeometry(size_bytes=4 * 1024)
 
@@ -241,6 +259,16 @@ class MachineConfig:
             raise ValueError("primary/secondary line sizes must match")
         if self.page_bytes % self.primary_cache.line_bytes:
             raise ValueError("page size must be a multiple of the line size")
+        if self.max_events is not None and self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if self.fault_plan is not None:
+            from repro.faults.plan import FaultPlan
+
+            if not isinstance(self.fault_plan, FaultPlan):
+                raise TypeError(
+                    f"fault_plan must be a FaultPlan, got "
+                    f"{type(self.fault_plan).__name__}"
+                )
         self.latency.validate()
 
     @property

@@ -18,11 +18,19 @@ from repro.experiments.figures import (
 )
 from repro.experiments.registry import (
     APP_NAMES,
+    SMOKE_PROCESSES,
     ExperimentRunner,
     app_config,
     build_app,
+    smoke_program,
 )
 from repro.experiments.report import format_bars, format_table
+from repro.experiments.supervisor import (
+    ConfigStatus,
+    ExperimentSupervisor,
+    SweepEntry,
+    SweepReport,
+)
 from repro.experiments.tables import (
     LatencyProbe,
     Table2Row,
@@ -33,13 +41,19 @@ from repro.experiments.tables import (
 __all__ = [
     "APP_NAMES",
     "Bar",
+    "ConfigStatus",
     "ExperimentRunner",
+    "ExperimentSupervisor",
     "LatencyProbe",
     "MULTI_COMPONENTS",
     "SINGLE_COMPONENTS",
+    "SMOKE_PROCESSES",
+    "SweepEntry",
+    "SweepReport",
     "Table2Row",
     "app_config",
     "build_app",
+    "smoke_program",
     "figure2",
     "figure3",
     "figure4",

@@ -45,6 +45,28 @@ def app_config(app: str, scale: str = "default"):
         raise KeyError(f"unknown app/scale {app!r}/{scale!r}") from None
 
 
+#: Processor count used by the smoke configurations below.
+SMOKE_PROCESSES = 8
+
+_SMOKE_CONFIGS: Dict[str, Callable[[], object]] = {
+    "MP3D": lambda: MP3DConfig(
+        num_particles=200, space_x=5, space_y=8, space_z=3, time_steps=2
+    ),
+    "LU": lambda: LUConfig(n=16),
+    "PTHOR": lambda: PTHORConfig(num_gates=200, clock_cycles=2),
+}
+
+
+def smoke_program(app: str, prefetching: bool = False) -> Program:
+    """A seconds-scale program for CI checks and the fault matrix
+    (run with ``SMOKE_PROCESSES`` processors)."""
+    try:
+        config = _SMOKE_CONFIGS[app]()
+    except KeyError:
+        raise KeyError(f"unknown app {app!r}") from None
+    return _BUILDERS[app](config, prefetching)
+
+
 def build_app(app: str, scale: str = "default", prefetching: bool = False) -> Program:
     """Build one of the paper's benchmarks by name."""
     return _BUILDERS[app](app_config(app, scale), prefetching)
@@ -59,9 +81,20 @@ class RunRecord:
 class ExperimentRunner:
     """Runs (app, machine-config) pairs with memoization."""
 
-    def __init__(self, scale: str = "default", verbose: bool = False) -> None:
+    def __init__(
+        self,
+        scale: str = "default",
+        verbose: bool = False,
+        seed: int = 0,
+        max_events: Optional[int] = None,
+    ) -> None:
         self.scale = scale
         self.verbose = verbose
+        #: Defaults threaded into every config run through this runner
+        #: (CLI ``--seed`` / ``--max-events``); explicit config values
+        #: are left alone when these are unset.
+        self.seed = seed
+        self.max_events = max_events
         self._cache: Dict[Tuple, RunRecord] = {}
 
     def _key(self, app: str, prefetching: bool, config: MachineConfig) -> Tuple:
@@ -74,6 +107,10 @@ class ExperimentRunner:
         prefetching: bool = False,
     ) -> SimulationResult:
         config = config or dash_scaled_config()
+        if self.seed and not config.seed:
+            config = config.replace(seed=self.seed)
+        if self.max_events is not None and config.max_events is None:
+            config = config.replace(max_events=self.max_events)
         key = self._key(app, prefetching, config)
         record = self._cache.get(key)
         if record is None:

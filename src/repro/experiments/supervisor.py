@@ -1,0 +1,188 @@
+"""Crash-isolating experiment supervisor.
+
+A figure sweep runs many machine configurations; one pathological
+configuration (a deadlocked program variant, a hostile fault plan, a
+watchdog timeout) must not take the whole ``bench_figure*`` run down
+with it.  :class:`ExperimentSupervisor` runs each configuration of a
+sweep in isolation:
+
+* every job runs inside its own try/except — a crash in one
+  configuration cannot unwind the others (each job builds a fresh
+  :class:`~repro.system.machine.Machine`, so no simulator state is
+  shared either);
+* *transient* failures (:class:`~repro.faults.RetryBudgetExceeded`,
+  :class:`~repro.faults.WatchdogTimeout`) are retried once — a run that
+  passes on the second attempt is reported as ``degraded`` rather than
+  ``pass``;
+* the sweep always produces a complete :class:`SweepReport` with
+  per-configuration pass/degraded/fail status, so partial results
+  survive and the failing configuration is named instead of lost.
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import RetryBudgetExceeded
+from repro.faults.watchdog import Watchdog, WatchdogTimeout
+
+#: Failure types worth one more attempt: they depend on scheduling
+#: pressure (wall clock) or adversity budgets, not on program logic.
+TRANSIENT_ERRORS: Tuple[type, ...] = (RetryBudgetExceeded, WatchdogTimeout)
+
+
+class ConfigStatus(enum.Enum):
+    PASSED = "pass"
+    DEGRADED = "degraded"  # completed, but only on a retry attempt
+    FAILED = "fail"
+
+
+@dataclass
+class SweepEntry:
+    """Outcome of one configuration of a sweep."""
+
+    name: str
+    status: ConfigStatus
+    attempts: int
+    wall_seconds: float
+    result: object = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not ConfigStatus.FAILED
+
+
+@dataclass
+class SweepReport:
+    """Partial-failure-tolerant report over a whole sweep."""
+
+    name: str
+    entries: List[SweepEntry] = field(default_factory=list)
+
+    def _with_status(self, status: ConfigStatus) -> List[SweepEntry]:
+        return [e for e in self.entries if e.status is status]
+
+    @property
+    def passed(self) -> List[SweepEntry]:
+        return self._with_status(ConfigStatus.PASSED)
+
+    @property
+    def degraded(self) -> List[SweepEntry]:
+        return self._with_status(ConfigStatus.DEGRADED)
+
+    @property
+    def failed(self) -> List[SweepEntry]:
+        return self._with_status(ConfigStatus.FAILED)
+
+    @property
+    def ok(self) -> bool:
+        """True when every configuration completed (possibly degraded)."""
+        return not self.failed
+
+    def results(self) -> List[object]:
+        """Results of the configurations that completed, sweep order."""
+        return [e.result for e in self.entries if e.ok]
+
+    def format(self) -> str:
+        lines = [
+            f"sweep {self.name!r}: {len(self.passed)} passed, "
+            f"{len(self.degraded)} degraded, {len(self.failed)} failed "
+            f"of {len(self.entries)} configurations"
+        ]
+        for entry in self.entries:
+            line = (
+                f"  [{entry.status.value:^8s}] {entry.name} "
+                f"({entry.attempts} attempt"
+                f"{'s' if entry.attempts != 1 else ''}, "
+                f"{entry.wall_seconds:.2f}s)"
+            )
+            if entry.error:
+                first = entry.error.splitlines()[0]
+                line += f" — {first}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+class ExperimentSupervisor:
+    """Runs sweep configurations in isolation with retry-once policy."""
+
+    def __init__(
+        self,
+        max_attempts: int = 2,
+        watchdog_factory: Optional[Callable[[], Watchdog]] = None,
+        verbose: bool = False,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("need at least one attempt per configuration")
+        self.max_attempts = max_attempts
+        self.watchdog_factory = watchdog_factory
+        self.verbose = verbose
+
+    def run_sweep(
+        self,
+        name: str,
+        jobs: Sequence[Tuple[str, Callable[..., object]]],
+    ) -> SweepReport:
+        """Run ``(job name, callable)`` pairs, isolating failures.
+
+        Each callable is invoked with a fresh ``watchdog=`` keyword when
+        a watchdog factory is configured and the callable accepts it;
+        plain thunks are invoked with no arguments.
+        """
+        report = SweepReport(name=name)
+        for job_name, job in jobs:
+            report.entries.append(self._run_one(job_name, job))
+            if self.verbose:
+                print(f"  [{report.entries[-1].status.value}] {job_name}")
+        return report
+
+    def _run_one(self, name: str, job: Callable[..., object]) -> SweepEntry:
+        start = time.perf_counter()
+        error: Optional[str] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = self._invoke(job)
+            except TRANSIENT_ERRORS as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                continue  # transient: worth one more attempt
+            except Exception as exc:  # crash isolation: never unwind the sweep
+                error = f"{type(exc).__name__}: {exc}"
+                break
+            status = (
+                ConfigStatus.PASSED if attempt == 1 else ConfigStatus.DEGRADED
+            )
+            return SweepEntry(
+                name=name,
+                status=status,
+                attempts=attempt,
+                wall_seconds=time.perf_counter() - start,
+                result=result,
+                error=error if status is ConfigStatus.DEGRADED else None,
+            )
+        return SweepEntry(
+            name=name,
+            status=ConfigStatus.FAILED,
+            attempts=min(attempt, self.max_attempts),
+            wall_seconds=time.perf_counter() - start,
+            error=error,
+        )
+
+    def _invoke(self, job: Callable[..., object]) -> object:
+        if self.watchdog_factory is not None and _accepts_watchdog(job):
+            return job(watchdog=self.watchdog_factory())
+        return job()
+
+
+def _accepts_watchdog(job: Callable[..., object]) -> bool:
+    try:
+        parameters = inspect.signature(job).parameters
+    except (TypeError, ValueError):
+        return False
+    return "watchdog" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )

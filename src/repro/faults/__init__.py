@@ -1,0 +1,28 @@
+"""Fault injection, retry/backoff, and robustness tooling.
+
+The package has three pieces:
+
+* :class:`FaultPlan` — a frozen, seedable description of which message
+  faults to inject (drops, delays, duplicates, directory NACKs) and the
+  retry/backoff policy that survives them;
+* :class:`FaultInjector` — installs the plan at the interconnect/
+  protocol boundary of a built machine (empty plans install nothing,
+  keeping fault-free runs bit-identical);
+* :class:`Watchdog` — wall-clock heartbeats and timeouts for the event
+  engine, so hung configurations fail fast with a progress trail.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats, RetryBudgetExceeded
+from repro.faults.plan import BackoffPolicy, FaultPlan
+from repro.faults.watchdog import Heartbeat, Watchdog, WatchdogTimeout
+
+__all__ = [
+    "BackoffPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "Heartbeat",
+    "RetryBudgetExceeded",
+    "Watchdog",
+    "WatchdogTimeout",
+]

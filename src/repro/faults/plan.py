@@ -1,0 +1,157 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` describes *which* message-level faults to inject at
+the interconnect/protocol boundary and *how often*:
+
+* **drops** — a request message is lost in the network and must be
+  re-sent after a detection timeout;
+* **delays** — a response message is held up for a bounded number of
+  extra pclocks (models transient congestion or an adaptive route);
+* **duplicates** — a message is delivered twice, charging its bandwidth
+  on the path a second time (queuing pressure, no direct latency);
+* **NACKs** — the home directory bounces the request because its
+  transaction buffer is full (the real DASH protocol NACKs and retries
+  under directory contention), and the requester retries after a capped
+  exponential backoff.
+
+Plans are frozen dataclasses: hashable (so they can live inside
+:class:`~repro.config.MachineConfig` and participate in experiment
+memoization keys) and immutable (one plan can be shared across a sweep).
+All randomness is drawn from a private ``random.Random`` stream seeded
+from ``(plan.seed, machine.seed)``, so a given (plan, config, program)
+triple always injects the same faults at the same points — fault runs
+are as reproducible as fault-free runs.
+
+An *empty* plan (all rates zero) is never installed at all, which keeps
+the no-fault fast path bit-identical to a machine without the fault
+layer (regression-tested in ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff between retries of one transaction.
+
+    Attempt ``k`` (0-based) waits ``min(initial * multiplier**k, cap)``
+    pclocks before re-issuing; after ``max_retries`` failed attempts the
+    transaction's retry budget is exhausted and the run aborts with
+    :class:`~repro.faults.injector.RetryBudgetExceeded`.
+    """
+
+    initial_cycles: int = 16
+    multiplier: int = 2
+    cap_cycles: int = 512
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.initial_cycles < 0 or self.cap_cycles < 0:
+            raise ValueError("backoff cycles must be nonnegative")
+        if self.multiplier < 1:
+            raise ValueError("backoff multiplier must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("retry budget must be nonnegative")
+
+    def delay_for(self, attempt: int) -> int:
+        """Backoff before re-issuing after the ``attempt``-th failure."""
+        if attempt < 0:
+            raise ValueError("attempt must be nonnegative")
+        delay = self.initial_cycles * self.multiplier ** attempt
+        return min(delay, self.cap_cycles)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates and parameters for deterministic fault injection."""
+
+    seed: int = 0
+    #: Probability a network-bound request message is dropped (per
+    #: attempt; a retried request rolls again).
+    drop_rate: float = 0.0
+    #: Probability the home directory NACKs a request (per attempt).
+    nack_rate: float = 0.0
+    #: Probability a response message is delayed.
+    delay_rate: float = 0.0
+    #: Probability a message is delivered twice (bandwidth only).
+    duplicate_rate: float = 0.0
+
+    #: Delayed responses arrive 1..delay_max_cycles pclocks late.
+    delay_max_cycles: int = 24
+    #: Pclocks until a dropped request is detected and re-sent.
+    drop_timeout_cycles: int = 96
+    #: Base round-trip pclocks of a NACK reply (requester to home and
+    #: back, header-only), before queuing delays.
+    nack_round_trip_cycles: int = 30
+
+    backoff: BackoffPolicy = BackoffPolicy()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "nack_rate", "delay_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_max_cycles <= 0:
+            raise ValueError("delay_max_cycles must be positive")
+        if self.drop_timeout_cycles <= 0:
+            raise ValueError("drop_timeout_cycles must be positive")
+        if self.nack_round_trip_cycles < 0:
+            raise ValueError("nack_round_trip_cycles must be nonnegative")
+        if (self.drop_rate or self.nack_rate) and self.backoff.max_retries == 0:
+            raise ValueError(
+                "drops/NACKs require a nonzero retry budget to make progress"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (no layer is installed)."""
+        return (
+            self.drop_rate == 0.0
+            and self.nack_rate == 0.0
+            and self.delay_rate == 0.0
+            and self.duplicate_rate == 0.0
+        )
+
+    @classmethod
+    def empty(cls, seed: int = 0) -> "FaultPlan":
+        return cls(seed=seed)
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "FaultPlan":
+        """A light adversity mix for CI: every fault kind fires, but the
+        machine completes comfortably within the retry budget."""
+        return cls(
+            seed=seed,
+            drop_rate=0.01,
+            nack_rate=0.04,
+            delay_rate=0.05,
+            duplicate_rate=0.02,
+        )
+
+    @classmethod
+    def heavy(cls, seed: int = 0) -> "FaultPlan":
+        """A hostile network: high NACK pressure and frequent drops."""
+        return cls(
+            seed=seed,
+            drop_rate=0.05,
+            nack_rate=0.15,
+            delay_rate=0.15,
+            duplicate_rate=0.05,
+            backoff=BackoffPolicy(max_retries=12),
+        )
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """Look up a named plan (``none``/``empty``, ``smoke``, ``heavy``)."""
+        builders = {
+            "none": cls.empty,
+            "empty": cls.empty,
+            "smoke": cls.smoke,
+            "heavy": cls.heavy,
+        }
+        try:
+            return builders[name](seed=seed)
+        except KeyError:
+            raise KeyError(f"unknown fault plan preset {name!r}") from None

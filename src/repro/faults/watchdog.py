@@ -1,0 +1,105 @@
+"""Wall-clock/event-count watchdog with progress heartbeats.
+
+A :class:`Watchdog` attaches to an :class:`~repro.sim.engine.EventEngine`
+via :meth:`~repro.sim.engine.EventEngine.set_heartbeat`: every
+``heartbeat_every`` fired events the engine calls back into the
+watchdog, which records a :class:`Heartbeat` (events fired, simulated
+time, wall seconds), optionally notifies a progress callback, and —
+when a wall-clock limit is configured — aborts the run with
+:class:`WatchdogTimeout` instead of letting a hung configuration stall
+an entire sweep.
+
+The timeout message carries the recent heartbeat trail (event and
+simulated-time progress over wall time), so a stalled run is
+distinguishable from a merely slow one at a glance: a livelock burns
+events without advancing simulated time, a hang does neither.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from repro.sim.engine import EventEngine, SimulationError
+
+
+class WatchdogTimeout(SimulationError):
+    """A run exceeded its wall-clock budget without completing."""
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One progress sample taken every ``heartbeat_every`` events."""
+
+    events: int
+    sim_time: int
+    wall_seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.wall_seconds:8.2f}s  {self.events:>12d} events  "
+            f"sim t={self.sim_time}"
+        )
+
+
+class Watchdog:
+    """Aborts runs that stop making wall-clock progress."""
+
+    def __init__(
+        self,
+        wall_clock_limit_s: Optional[float] = None,
+        heartbeat_every: int = 250_000,
+        on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
+        clock: Callable[[], float] = _time.monotonic,
+        trail_depth: int = 16,
+    ) -> None:
+        if wall_clock_limit_s is not None and wall_clock_limit_s < 0:
+            raise ValueError("wall-clock limit must be nonnegative")
+        if heartbeat_every <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.wall_clock_limit_s = wall_clock_limit_s
+        self.heartbeat_every = heartbeat_every
+        self.on_heartbeat = on_heartbeat
+        self.clock = clock
+        self.heartbeats: Deque[Heartbeat] = deque(maxlen=trail_depth)
+        self._started_at: Optional[float] = None
+
+    def attach(self, engine: EventEngine) -> "Watchdog":
+        """Arm the watchdog on ``engine`` and start the wall clock."""
+        self._started_at = self.clock()
+        engine.set_heartbeat(self._tick, every=self.heartbeat_every)
+        return self
+
+    def detach(self, engine: EventEngine) -> None:
+        engine.set_heartbeat(None)
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self.clock() - self._started_at
+
+    def _tick(self, engine: EventEngine) -> None:
+        if self._started_at is None:
+            self._started_at = self.clock()
+        beat = Heartbeat(
+            events=engine.events_processed,
+            sim_time=engine.now,
+            wall_seconds=self.clock() - self._started_at,
+        )
+        self.heartbeats.append(beat)
+        if self.on_heartbeat is not None:
+            self.on_heartbeat(beat)
+        limit = self.wall_clock_limit_s
+        if limit is not None and beat.wall_seconds > limit:
+            rate = beat.events / beat.wall_seconds if beat.wall_seconds else 0.0
+            trail = "\n".join(f"  {b}" for b in self.heartbeats)
+            raise WatchdogTimeout(
+                f"no completion after {beat.wall_seconds:.2f}s wall-clock "
+                f"(limit {limit:.2f}s): {beat.events} events fired, "
+                f"sim t={beat.sim_time}, {rate:,.0f} events/s, "
+                f"{engine.pending} events pending\n"
+                f"heartbeat trail (oldest first):\n{trail}"
+            )

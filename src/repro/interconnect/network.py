@@ -120,6 +120,29 @@ class Interconnect:
             self.contention.memory_occupancy,
         )
 
+    # -- fault-layer charges ------------------------------------------------
+
+    def charge_nack(self, node: int, home: int, time: int) -> int:
+        """Charge one NACKed request round trip ``node`` -> ``home`` ->
+        ``node`` (header-only both ways, plus a directory pass to bounce
+        the request).  Returns the queuing delay accumulated; the base
+        round-trip latency is the fault plan's ``nack_round_trip_cycles``.
+        """
+        delay = self.charge_bus(node, time, data=False)
+        if home != node:
+            delay += self.charge_hop(node, home, time + delay, data=False)
+        delay += self.charge_directory(home, time + delay)
+        if home != node:
+            delay += self.charge_hop(home, node, time + delay, data=False)
+        return delay
+
+    def charge_duplicate(self, src: int, dst: int, time: int, data: bool) -> None:
+        """Charge a redundantly delivered message on the background
+        chain: pure bandwidth pressure, no latency for the original."""
+        self.charge_bus(src, time, data=data, background=True)
+        if src != dst:
+            self.charge_hop(src, dst, time, data=data, background=True)
+
     def utilization_report(self, elapsed: int):
         """Per-resource utilization, for diagnostics and ablations."""
         report = {}

@@ -15,11 +15,14 @@ hits cost zero heap operations.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 #: Sentinel returned by :meth:`EventEngine.peek_time` when the calendar is
 #: empty — any local time compares as "not behind" this.
 TIME_INFINITY = float("inf")
+
+#: Default event budget before a run is declared a livelock.
+DEFAULT_EVENT_LIMIT = 2_000_000_000
 
 
 class SimulationError(RuntimeError):
@@ -39,14 +42,26 @@ class EventEngine:
     primitive, and may schedule further events.
     """
 
-    __slots__ = ("_queue", "_seq", "_now", "_events_processed", "_limit")
+    __slots__ = (
+        "_queue",
+        "_seq",
+        "_now",
+        "_events_processed",
+        "_limit",
+        "_heartbeat",
+        "_heartbeat_every",
+        "_next_heartbeat",
+    )
 
-    def __init__(self, event_limit: int = 2_000_000_000) -> None:
+    def __init__(self, event_limit: int = DEFAULT_EVENT_LIMIT) -> None:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self._now = 0
         self._events_processed = 0
         self._limit = event_limit
+        self._heartbeat: Optional[Callable[["EventEngine"], None]] = None
+        self._heartbeat_every = 0
+        self._next_heartbeat = TIME_INFINITY
 
     @property
     def now(self) -> int:
@@ -91,6 +106,35 @@ class EventEngine:
         """Number of events waiting in the calendar."""
         return len(self._queue)
 
+    def set_heartbeat(
+        self, callback: Optional[Callable[["EventEngine"], None]], every: int = 250_000
+    ) -> None:
+        """Invoke ``callback(engine)`` every ``every`` fired events.
+
+        Used by watchdogs to check wall-clock progress from inside long
+        runs; pass ``None`` to detach.  The callback may raise to abort
+        the run (e.g. :class:`~repro.faults.watchdog.WatchdogTimeout`).
+        """
+        if callback is not None and every <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self._heartbeat = callback
+        if callback is None:
+            self._next_heartbeat = TIME_INFINITY
+        else:
+            self._heartbeat_every = every
+            self._next_heartbeat = self._events_processed + every
+
+    def _fire_heartbeat(self) -> None:
+        self._next_heartbeat = self._events_processed + self._heartbeat_every
+        self._heartbeat(self)  # type: ignore[misc]
+
+    def _limit_error(self, time: int) -> SimulationError:
+        return SimulationError(
+            f"event limit {self._limit} exceeded at t={time} with "
+            f"{len(self._queue)} events pending; likely a livelock in "
+            "the simulated program"
+        )
+
     def run(self) -> int:
         """Fire events until the calendar drains; return the final time."""
         queue = self._queue
@@ -99,10 +143,9 @@ class EventEngine:
             self._now = time
             self._events_processed += 1
             if self._events_processed > self._limit:
-                raise SimulationError(
-                    f"event limit {self._limit} exceeded at t={time}; "
-                    "likely a livelock in the simulated program"
-                )
+                raise self._limit_error(time)
+            if self._events_processed >= self._next_heartbeat:
+                self._fire_heartbeat()
             callback()
         return self._now
 
@@ -114,9 +157,9 @@ class EventEngine:
             self._now = time
             self._events_processed += 1
             if self._events_processed > self._limit:
-                raise SimulationError(
-                    f"event limit {self._limit} exceeded at t={time}"
-                )
+                raise self._limit_error(time)
+            if self._events_processed >= self._next_heartbeat:
+                self._fire_heartbeat()
             callback()
         if self._now < deadline:
             self._now = deadline

@@ -35,6 +35,10 @@ class QueuedResource:
         """
         if occupancy < 0:
             raise ValueError(f"negative occupancy {occupancy} on {self.name}")
+        if time < 0:
+            raise ValueError(
+                f"acquire of {self.name} at t={time}, before simulation start"
+            )
         start = time if time > self._next_free else self._next_free
         finish = start + occupancy
         self._next_free = finish

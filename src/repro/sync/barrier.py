@@ -25,6 +25,8 @@ GrantCallback = Callable[[int], None]
 class _BarrierState:
     arrivals: List[Tuple[int, GrantCallback]] = field(default_factory=list)
     latest_arrival: int = 0
+    #: Participant count of the current episode (diagnostics only).
+    participants: int = 0
 
 
 @dataclass
@@ -63,6 +65,7 @@ class BarrierManager:
         if participants <= 0:
             raise ValueError("barrier needs at least one participant")
         barrier = self._state(addr)
+        barrier.participants = participants
         self.stats.crossings += 1
         arrival_done = time + self.costs.release_cost(node, addr, time)
         barrier.latest_arrival = max(barrier.latest_arrival, arrival_done)
@@ -88,3 +91,18 @@ class BarrierManager:
 
     def waiting_count(self, addr: int) -> int:
         return len(self._state(addr).arrivals)
+
+    def pending(self):
+        """Deadlock diagnostics: ``(addr, arrived nodes, participants)``
+        for every barrier episode that has not released yet."""
+        report = []
+        for addr, barrier in sorted(self._barriers.items()):
+            if barrier.arrivals:
+                report.append(
+                    (
+                        addr,
+                        [node for node, _cb in barrier.arrivals],
+                        barrier.participants,
+                    )
+                )
+        return report

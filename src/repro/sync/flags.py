@@ -82,6 +82,15 @@ class FlagManager:
     def is_set(self, addr: int) -> bool:
         return self._state(addr).set_time is not None
 
+    def pending(self):
+        """Deadlock diagnostics: ``(addr, waiter nodes)`` for every
+        unset flag someone is still waiting on."""
+        report = []
+        for addr, flag in sorted(self._flags.items()):
+            if flag.waiters:
+                report.append((addr, [node for node, _cb in flag.waiters]))
+        return report
+
     def reset(self, addr: int) -> None:
         """Clear a flag for reuse (between MP3D time-step phases)."""
         flag = self._state(addr)

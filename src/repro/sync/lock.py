@@ -111,3 +111,14 @@ class LockManager:
 
     def queue_length(self, addr: int) -> int:
         return len(self._state(addr).waiters)
+
+    def pending(self):
+        """Deadlock diagnostics: ``(addr, holder, waiter nodes)`` for
+        every lock that is held or has queued waiters."""
+        report = []
+        for addr, lock in sorted(self._locks.items()):
+            if lock.held or lock.waiters:
+                report.append(
+                    (addr, lock.holder, [node for node, _cb in lock.waiters])
+                )
+        return report

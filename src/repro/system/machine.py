@@ -23,7 +23,7 @@ from repro.consistency import policy_for
 from repro.interconnect import Interconnect
 from repro.memlayout import SharedMemoryAllocator
 from repro.processor import Context, Processor
-from repro.sim.engine import DeadlockError, EventEngine
+from repro.sim.engine import DEFAULT_EVENT_LIMIT, DeadlockError, EventEngine
 from repro.sync import BarrierManager, FlagManager, LockManager, SyncCosts
 from repro.system.memiface import NodeMemoryInterface
 from repro.system.results import (
@@ -40,7 +40,11 @@ class Machine:
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
-        self.engine = EventEngine()
+        self.engine = EventEngine(
+            event_limit=config.max_events
+            if config.max_events is not None
+            else DEFAULT_EVENT_LIMIT
+        )
         self.allocator = SharedMemoryAllocator(
             num_nodes=config.num_processors, page_bytes=config.page_bytes
         )
@@ -101,6 +105,17 @@ class Machine:
 
             self.sanitizer = CoherenceSanitizer(self).install()
 
+        # Fault injection (off by default, and an empty plan installs
+        # nothing): installed after the sanitizer so the sanitizer sees
+        # the single real protocol transaction of each retried access.
+        self.fault_injector = None
+        if config.fault_plan is not None and not config.fault_plan.is_empty:
+            from repro.faults.injector import FaultInjector
+
+            self.fault_injector = FaultInjector(
+                self, config.fault_plan, seed_mix=config.seed
+            ).install()
+
     # -- loading --------------------------------------------------------------
 
     def load(self, program: Program) -> None:
@@ -127,21 +142,69 @@ class Machine:
 
     # -- running --------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
+    def run(self, watchdog=None) -> SimulationResult:
+        """Run the loaded program to completion.
+
+        ``watchdog`` is an optional :class:`~repro.faults.Watchdog`;
+        when given, it is armed on the event engine for the duration of
+        the run and aborts with ``WatchdogTimeout`` if the wall-clock
+        budget is exceeded.
+        """
         if self._program is None:
             raise RuntimeError("no program loaded")
         for processor in self.processors:
             processor.start()
-        self.engine.run()
+        if watchdog is not None:
+            watchdog.attach(self.engine)
+        try:
+            self.engine.run()
+        finally:
+            if watchdog is not None:
+                watchdog.detach(self.engine)
 
         unfinished = [p.node_id for p in self.processors if not p.finished]
         if unfinished:
             raise DeadlockError(
                 f"event calendar drained at t={self.engine.now} with "
                 f"processors {unfinished} still blocked — check the "
-                "program's synchronization"
+                "program's synchronization\n" + self.waiters_report()
             )
         return self._collect()
+
+    def waiters_report(self) -> str:
+        """Who-waits-on-what: blocked contexts, held locks, unfilled
+        barriers, and unset flags, for deadlock/livelock diagnostics."""
+        lines = ["who waits on what:"]
+        for processor in self.processors:
+            if processor.finished:
+                continue
+            for ctx in processor.contexts:
+                if not ctx.live:
+                    continue
+                lines.append(
+                    f"  node {processor.node_id} context {ctx.index} "
+                    f"(process {ctx.process_id}): {ctx.state.value} "
+                    f"since t={ctx.block_start}, "
+                    f"{ctx.ops_executed} ops executed"
+                )
+        for addr, holder, waiters in self.locks.pending():
+            lines.append(
+                f"  lock {addr:#x}: held by node {holder}, "
+                f"waiting nodes {waiters}"
+            )
+        for addr, arrived, participants in self.barriers.pending():
+            lines.append(
+                f"  barrier {addr:#x}: {len(arrived)}/{participants} "
+                f"arrived (nodes {sorted(arrived)})"
+            )
+        for addr, waiters in self.flags.pending():
+            lines.append(
+                f"  flag {addr:#x}: never set, waiting nodes {waiters}"
+            )
+        lines.append(f"  event calendar: {self.engine.pending} events pending")
+        if len(lines) == 2:
+            lines.insert(1, "  (no blocked contexts or pending resources)")
+        return "\n".join(lines)
 
     def _collect(self) -> SimulationResult:
         execution_time = max(p.finish_time or 0 for p in self.processors)
@@ -196,6 +259,9 @@ class Machine:
                 if ".sync" not in region.name and ".flags" not in region.name
             ),
             world=self._program.world,
+            faults=(
+                self.fault_injector.stats if self.fault_injector else None
+            ),
             events_processed=self.engine.events_processed,
             run_lengths=[
                 length
@@ -205,8 +271,10 @@ class Machine:
         )
 
 
-def run_program(program: Program, config: MachineConfig) -> SimulationResult:
+def run_program(
+    program: Program, config: MachineConfig, watchdog=None
+) -> SimulationResult:
     """Convenience wrapper: build a machine, load, run, return results."""
     machine = Machine(config)
     machine.load(program)
-    return machine.run()
+    return machine.run(watchdog=watchdog)

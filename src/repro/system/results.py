@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 from repro.coherence import AccessClass, ProtocolStats
 from repro.config import MachineConfig
+from repro.faults.injector import FaultStats
 from repro.processor.accounting import Bucket, TimeBreakdown
 
 _HIT_CLASSES = (AccessClass.PRIMARY_HIT, AccessClass.SECONDARY_HIT)
@@ -59,6 +60,8 @@ class SimulationResult:
     write_misses: int
     shared_data_bytes: int
     world: object = None
+    #: Fault-injection counters (None when no fault layer was installed).
+    faults: Optional[FaultStats] = None
     events_processed: int = 0
     run_lengths: List[int] = field(default_factory=list)
     extras: Dict[str, float] = field(default_factory=dict)
@@ -111,6 +114,17 @@ class SimulationResult:
             return None
         ordered = sorted(self.run_lengths)
         return ordered[len(ordered) // 2]
+
+    @property
+    def fault_retries(self) -> int:
+        """Transaction re-issues forced by injected NACKs/drops (0 when
+        no fault layer was installed)."""
+        return self.faults.retries if self.faults is not None else 0
+
+    @property
+    def fault_added_cycles(self) -> int:
+        """Latency added by the fault layer (retries plus delays)."""
+        return self.faults.added_cycles if self.faults is not None else 0
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
         """Baseline execution time divided by this run's (>1 is faster)."""

@@ -21,3 +21,33 @@ def test_unknown_target_rejected():
 def test_help_lists_targets():
     with pytest.raises(SystemExit):
         main(["--help"])
+
+
+def test_fault_matrix_smoke_single_app(capsys):
+    assert main(["check", "--app", "LU", "--faults", "smoke", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "plan=smoke seed=7" in out
+    assert "retries" in out  # per-app fault summary line
+    assert "check: ok" in out
+
+
+def test_faults_flag_selects_only_the_fault_check(capsys):
+    main(["check", "--app", "LU", "--faults", "smoke"])
+    out = capsys.readouterr().out
+    assert "[faults]" in out
+    assert "[litmus]" not in out  # --faults alone means just the matrix
+
+
+def test_unknown_check_rejected():
+    with pytest.raises(SystemExit):
+        main(["check", "--checks", "sorcery"])
+
+
+def test_max_events_aborts_run(capsys):
+    status = main(
+        ["check", "--app", "LU", "--checks", "invariants", "--max-events", "100"]
+    )
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "event limit 100 exceeded" in out
+    assert "check: FAILED" in out

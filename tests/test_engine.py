@@ -119,3 +119,54 @@ def test_property_pop_order_is_sorted_and_stable(times):
     for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
         if t1 == t2:
             assert i1 < i2
+
+
+def _rearming(event_limit):
+    engine = EventEngine(event_limit=event_limit)
+
+    def rearm():
+        engine.schedule(engine.now + 1, rearm)
+
+    engine.schedule(0, rearm)
+    return engine
+
+
+def test_event_limit_message_names_livelock_and_pending():
+    engine = _rearming(event_limit=10)
+    with pytest.raises(SimulationError, match="likely a livelock") as excinfo:
+        engine.run()
+    assert "events pending" in str(excinfo.value)
+
+
+def test_run_until_event_limit_message_matches_run():
+    engine = _rearming(event_limit=10)
+    with pytest.raises(SimulationError, match="likely a livelock") as excinfo:
+        engine.run_until(1_000)
+    assert "events pending" in str(excinfo.value)
+
+
+def test_heartbeat_fires_every_n_events():
+    engine = EventEngine()
+    for t in range(25):
+        engine.schedule(t, lambda: None)
+    beats = []
+    engine.set_heartbeat(lambda e: beats.append(e.events_processed), every=10)
+    engine.run()
+    assert beats == [10, 20]
+
+
+def test_heartbeat_detaches_with_none():
+    engine = EventEngine()
+    for t in range(20):
+        engine.schedule(t, lambda: None)
+    beats = []
+    engine.set_heartbeat(lambda e: beats.append(e.events_processed), every=5)
+    engine.set_heartbeat(None)
+    engine.run()
+    assert beats == []
+
+
+def test_heartbeat_rejects_nonpositive_interval():
+    engine = EventEngine()
+    with pytest.raises(ValueError):
+        engine.set_heartbeat(lambda e: None, every=0)

@@ -82,3 +82,29 @@ def test_property_grants_never_overlap(requests):
         assert start >= previous_finish or occupancy == 0
         assert start >= arrival
         previous_finish = max(previous_finish, finish)
+
+
+def test_zero_occupancy_acquire_takes_no_time():
+    resource = QueuedResource("bus")
+    assert resource.acquire(100, 0) == 100
+    # It neither occupies the resource nor delays later arrivals.
+    assert resource.acquire(100, 5) == 105
+    assert resource.busy_total == 5
+
+
+def test_zero_occupancy_still_waits_behind_queue():
+    resource = QueuedResource("bus")
+    resource.acquire(0, 10)
+    assert resource.acquire(0, 0) == 10  # drains the queue, adds nothing
+
+
+def test_same_time_contention_is_fifo():
+    resource = QueuedResource("bus")
+    finishes = [resource.acquire(50, 5) for _ in range(4)]
+    assert finishes == [55, 60, 65, 70]  # arrival order, no reordering
+
+
+def test_acquire_in_the_past_rejected():
+    resource = QueuedResource("bus")
+    with pytest.raises(ValueError, match="before simulation start"):
+        resource.acquire(-1, 5)
