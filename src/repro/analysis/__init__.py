@@ -13,6 +13,14 @@ simulation core unless ``MachineConfig(sanitize=True)`` is set or the
   synchronization pairing;
 * :mod:`repro.analysis.executor` — the untimed op-stream executor the
   dynamic analyses run on;
+* :mod:`repro.analysis.modelcheck` — exhaustive explicit-state model
+  checker for an abstraction of the directory protocol (SWMR,
+  data-value, directory precision, no-stuck-state) with minimal
+  counterexample traces;
+* :mod:`repro.analysis.lockorder` — static lock-order deadlock analyzer
+  and barrier-participation checker over Tango programs;
+* :mod:`repro.analysis.srclint` — AST determinism lint over the
+  simulator source itself;
 * :mod:`repro.analysis.litmus` — consistency litmus tests through the
   full machine (imported directly, not re-exported here: it depends on
   :mod:`repro.system`, which may itself import this package).
@@ -29,11 +37,32 @@ from repro.analysis.invariants import (
     Transition,
     TransitionTrace,
 )
+from repro.analysis.lockorder import (
+    LockOrderFinding,
+    LockOrderReport,
+    analyze_apps,
+    analyze_program,
+)
+from repro.analysis.modelcheck import (
+    ModelChecker,
+    ModelCheckResult,
+    ModelConfig,
+    ProtocolModel,
+    Violation,
+    check_protocol,
+    format_counterexample,
+)
 from repro.analysis.oplint import (
     LintIssue,
     OpLinter,
     lint_ops,
     lint_program,
+)
+from repro.analysis.srclint import (
+    SrcIssue,
+    format_issues,
+    lint_path,
+    lint_tree,
 )
 from repro.analysis.race_detector import (
     AccessSite,
@@ -48,16 +77,31 @@ __all__ = [
     "Epoch",
     "ExecutionSummary",
     "LintIssue",
+    "LockOrderFinding",
+    "LockOrderReport",
     "LogicalExecutor",
+    "ModelCheckResult",
+    "ModelChecker",
+    "ModelConfig",
     "OpLinter",
     "OpListener",
+    "ProtocolModel",
     "RaceDetector",
     "RaceReport",
+    "SrcIssue",
     "Transition",
     "TransitionTrace",
     "VectorClock",
+    "Violation",
+    "analyze_apps",
+    "analyze_program",
+    "check_protocol",
     "execute_program",
+    "format_counterexample",
+    "format_issues",
     "join_all",
     "lint_ops",
+    "lint_path",
     "lint_program",
+    "lint_tree",
 ]

@@ -219,7 +219,7 @@ class CoherenceSanitizer:
             return
         try:
             entry.check()
-        except SimulationError as exc:
+        except SimulationError as exc:  # srclint: ok(swallow-simulation-error) — _fail re-raises
             self._fail(f"line {line:#x} at home {home}: {exc}")
         if entry.state == DirState.DIRTY:
             if holders != {entry.owner}:
@@ -291,10 +291,25 @@ class CoherenceSanitizer:
         self.checks_performed += 1
         try:
             self.protocol.check_invariants()
-        except SimulationError as exc:
+        except SimulationError as exc:  # srclint: ok(swallow-simulation-error) — _fail re-raises
             self._fail(str(exc))
         for iface in self.machine.memifaces:
             self.check_buffers(iface)
+        self.check_counters()
+
+    def check_counters(self) -> None:
+        """Event counters are monotone: a negative value means counter
+        state leaked between runs or a decrement snuck in."""
+        self.checks_performed += 1
+        for name, value in self.protocol.stats.counter_items():
+            if value < 0:
+                self._fail(f"protocol counter {name} is negative ({value})")
+        for directory in self.protocol.directories:
+            if directory.nacks_sent < 0:
+                self._fail(
+                    f"directory {directory.node_id} nacks_sent is "
+                    f"negative ({directory.nacks_sent})"
+                )
 
     def _fail(self, message: str) -> None:
         raise SimulationError(

@@ -31,7 +31,7 @@ optional per-thread skew delays inject schedule diversity after it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import Consistency, ContentionConfig, dash_scaled_config
 from repro.sim.engine import SimulationError
@@ -182,16 +182,22 @@ def _build_program(
 
 
 def _run_one(
-    test: LitmusTest, model: Consistency, schedule: Sequence[int]
+    test: LitmusTest,
+    model: Consistency,
+    schedule: Sequence[int],
+    config_overrides: Optional[Mapping[str, object]] = None,
 ) -> Outcome:
     """Run one schedule through the machine; return the outcome tuple."""
     addresses: Dict[str, int] = {}
     program = _build_program(test, schedule, addresses)
-    config = dash_scaled_config(
+    kwargs: Dict[str, object] = dict(
         num_processors=test.num_threads,
         consistency=model,
         contention=ContentionConfig(enabled=False),
     )
+    if config_overrides:
+        kwargs.update(config_overrides)
+    config = dash_scaled_config(**kwargs)
     machine = Machine(config)
 
     reads_by_node: Dict[int, List[Tuple[int, int]]] = {
@@ -237,12 +243,24 @@ def _run_one(
     return tuple(outcome)
 
 
-def run_litmus(test: LitmusTest, model: Consistency) -> LitmusResult:
-    """Run ``test`` under ``model`` across all schedules."""
+def run_litmus(
+    test: LitmusTest,
+    model: Consistency,
+    config_overrides: Optional[Mapping[str, object]] = None,
+) -> LitmusResult:
+    """Run ``test`` under ``model`` across all schedules.
+
+    ``config_overrides`` are extra :class:`MachineConfig` fields merged
+    over the litmus defaults — used by the edge-case tests to ablate
+    e.g. ``write_buffer_bypass`` or install an (empty) fault plan and
+    assert the verdicts do not change.
+    """
     result = LitmusResult(test=test, model=model)
     outcomes = {}
     for schedule in test.schedules():
-        outcomes[schedule] = _run_one(test, model, schedule)
+        outcomes[schedule] = _run_one(
+            test, model, schedule, config_overrides=config_overrides
+        )
     result.by_schedule = outcomes
     result.observed = frozenset(outcomes.values())
     return result
@@ -352,11 +370,13 @@ def standard_suite() -> List[LitmusTest]:
 def run_suite(
     models: Sequence[Consistency] = tuple(Consistency),
     tests: Sequence[LitmusTest] = (),
+    config_overrides: Optional[Mapping[str, object]] = None,
 ) -> List[LitmusResult]:
     """Run every (test, model) pair; returns all results."""
     suite = list(tests) or standard_suite()
     return [
-        run_litmus(test, model) for test in suite for model in models
+        run_litmus(test, model, config_overrides=config_overrides)
+        for test in suite for model in models
     ]
 
 

@@ -55,12 +55,20 @@ class LintIssue:
     op_index: int
     code: str
     message: str
+    #: Where the op stream came from (program name, or a caller-chosen
+    #: label); part of the stable ``source:t<thread>:op#<index>``
+    #: location format that tooling may parse.
+    source: str = "<ops>"
+
+    @property
+    def location(self) -> str:
+        """Stable machine-parseable location: ``source:t<tid>:op#<i>``
+        (``op#-1`` marks end-of-stream findings such as a lock still
+        held when the thread finishes)."""
+        return f"{self.source}:t{self.thread}:op#{self.op_index}"
 
     def __str__(self) -> str:
-        return (
-            f"[{self.severity}] thread {self.thread} op #{self.op_index} "
-            f"{self.code}: {self.message}"
-        )
+        return f"[{self.severity}] {self.location} {self.code}: {self.message}"
 
 
 class OpLinter(OpListener):
@@ -69,8 +77,10 @@ class OpLinter(OpListener):
     def __init__(
         self, num_processes: int = 0,
         allocator: Optional[SharedMemoryAllocator] = None,
+        source: str = "<ops>",
     ) -> None:
         self.issues: List[LintIssue] = []
+        self.source = source
         self.num_processes = num_processes
         self._allocator = allocator
         self._held: Dict[int, List[int]] = {}  # tid -> stack of lock addrs
@@ -193,6 +203,7 @@ class OpLinter(OpListener):
                     ERROR, thread, index, "flag-never-set",
                     f"FLAG_WAIT on {addr:#x} but no thread ever issues "
                     f"FLAG_SET for it",
+                    source=self.source,
                 )
             return
         if code == O.BARRIER:
@@ -226,11 +237,23 @@ class OpLinter(OpListener):
     def _issue(
         self, severity: str, thread: int, index: int, code: str, message: str
     ) -> None:
-        self.issues.append(LintIssue(severity, thread, index, code, message))
+        self.issues.append(
+            LintIssue(severity, thread, index, code, message,
+                      source=self.source)
+        )
 
     @property
     def errors(self) -> List[LintIssue]:
         return [i for i in self.issues if i.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity == WARNING]
+
+    def failures(self, strict: bool = False) -> List[LintIssue]:
+        """Issues that should fail a check: errors, plus warnings when
+        ``strict`` (the CI mode — ``repro-1991 check --strict``)."""
+        return list(self.issues) if strict else self.errors
 
     def format_issues(self) -> str:
         if not self.issues:
@@ -245,9 +268,11 @@ def lint_ops(
     thread: int = 0,
     num_processes: int = 0,
     allocator: Optional[SharedMemoryAllocator] = None,
+    source: str = "<ops>",
 ) -> List[LintIssue]:
     """Lint a plain iterable of op tuples from one thread."""
-    linter = OpLinter(num_processes=num_processes, allocator=allocator)
+    linter = OpLinter(num_processes=num_processes, allocator=allocator,
+                      source=source)
     index = -1
     for index, op in enumerate(ops):
         linter.lint_one(thread, index, op)
@@ -262,7 +287,7 @@ def lint_program(program, num_processes: int, **kwargs) -> List[LintIssue]:
     Runs non-strict so the linter records malformed ops rather than the
     executor raising on them.
     """
-    linter = OpLinter()
+    linter = OpLinter(source=program.name)
     executor = LogicalExecutor(
         program, num_processes, listeners=[linter], strict=False, **kwargs
     )

@@ -1,0 +1,334 @@
+"""AST-based determinism lint for the simulator's own source.
+
+The simulator's contract is bit-for-bit reproducibility: the same
+(program, config, seed) triple must produce the same result on every
+run, machine, and Python version.  The classic ways that contract rots
+are all statically visible, so this pass walks the AST of every module
+under ``src/repro`` and enforces:
+
+* ``unseeded-random`` — no module-level :mod:`random` functions (they
+  share hidden global state) and no ``random.Random()`` without a seed;
+  all randomness must flow from an explicitly seeded instance;
+* ``wall-clock`` — no reads of wall-clock time (``time.time``,
+  ``time.monotonic``, ``time.perf_counter``, ``datetime.now``, ...)
+  outside ``faults/watchdog.py``, whose whole job is wall-clock
+  watchdogging.  Wall time leaking anywhere else can steer simulated
+  behaviour by host load;
+* ``set-iteration`` — no iteration directly over a set display,
+  ``set(...)`` / ``frozenset(...)`` call, or set comprehension: set
+  order is arbitrary (hash-seed dependent for str keys), so event
+  handlers and protocol code must iterate ``sorted(...)`` instead;
+* ``mutable-default`` — no mutable default arguments (``[]``, ``{}``,
+  ``set()``, ...): state smuggled between calls through a default is
+  both a correctness bug and a cross-run leak;
+* ``swallow-simulation-error`` — an ``except`` handler that catches
+  :class:`~repro.sim.engine.SimulationError` (directly, via
+  ``Exception``, or bare) must contain a ``raise``: invariant
+  violations must never be silently dropped by event callbacks.
+
+A finding may be acknowledged in place with a trailing
+``# srclint: ok(<rule>)`` comment on the offending line (the
+crash-isolation boundary in the experiment supervisor, for example,
+exists to swallow errors).  The lint runs from
+``repro-1991 check --lint-src`` and CI, and must stay clean on
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Module-level :mod:`random` callables that use the hidden global RNG.
+#: (Seeding the global RNG via ``random.seed`` is equally banned: the
+#: stream is process-wide and any import-order change perturbs it.)
+_GLOBAL_RNG_EXEMPT = {"Random", "SystemRandom"}
+
+#: Wall-clock reading callables of :mod:`time`.
+_TIME_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+    "localtime", "gmtime",
+}
+
+#: Wall-clock reading constructors of :mod:`datetime` classes.
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+#: Exception names whose handlers can swallow a SimulationError.
+_SWALLOWING_CATCHES = {"SimulationError", "Exception", "BaseException"}
+
+#: Files allowed to read the wall clock: the watchdog *is* the wall
+#: clock boundary (its readings feed abort decisions, never sim state).
+_WALL_CLOCK_ALLOWED = ("faults/watchdog.py",)
+
+_OK_COMMENT = re.compile(r"#\s*srclint:\s*ok(?:\(([a-z-]+)\))?")
+
+
+@dataclass(frozen=True)
+class SrcIssue:
+    """One finding, anchored to a source location."""
+
+    path: str        # repo-relative (posix) path
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} [{self.rule}] {self.message}"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(
+        self, rel_path: str, source_lines: Sequence[str]
+    ) -> None:
+        self.rel_path = rel_path
+        self.source_lines = source_lines
+        self.issues: List[SrcIssue] = []
+        #: local alias -> real module name, for ``random`` and ``time``.
+        self.module_aliases: Dict[str, str] = {}
+        #: names bound by ``from datetime import datetime/date``.
+        self.datetime_names: Set[str] = set()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if self._acknowledged(line, rule):
+            return
+        self.issues.append(
+            SrcIssue(
+                self.rel_path, line, getattr(node, "col_offset", 0) + 1,
+                rule, message,
+            )
+        )
+
+    def _acknowledged(self, line: int, rule: str) -> bool:
+        if not 1 <= line <= len(self.source_lines):
+            return False
+        match = _OK_COMMENT.search(self.source_lines[line - 1])
+        if match is None:
+            return False
+        return match.group(1) is None or match.group(1) == rule
+
+    def _alias_of(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.module_aliases.get(node.id)
+        return None
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("random", "time", "datetime"):
+                self.module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            # ``from random import randint`` severs the call site from
+            # the module name, making seeding untrackable.
+            for alias in node.names:
+                if alias.name not in _GLOBAL_RNG_EXEMPT:
+                    self._flag(
+                        node, "unseeded-random",
+                        f"'from random import {alias.name}' binds the "
+                        f"hidden global RNG; import the module and use a "
+                        f"seeded random.Random instance",
+                    )
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date", "time"):
+                    self.datetime_names.add(alias.asname or alias.name)
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FNS:
+                    self._flag(
+                        node, "wall-clock",
+                        f"'from time import {alias.name}' imports a "
+                        f"wall-clock read",
+                    )
+        self.generic_visit(node)
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = self._alias_of(func.value)
+            if owner == "random":
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        self._flag(
+                            node, "unseeded-random",
+                            "random.Random() without a seed draws entropy "
+                            "from the OS; pass an explicit seed",
+                        )
+                elif func.attr not in _GLOBAL_RNG_EXEMPT:
+                    self._flag(
+                        node, "unseeded-random",
+                        f"random.{func.attr}() uses the hidden global "
+                        f"RNG; use an explicitly seeded random.Random",
+                    )
+            elif owner == "time" and func.attr in _TIME_FNS:
+                self._flag(
+                    node, "wall-clock",
+                    f"time.{func.attr}() reads the wall clock",
+                )
+            elif func.attr in _DATETIME_FNS:
+                base = func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id in self.datetime_names
+                ) or (
+                    isinstance(base, ast.Attribute)
+                    and self._alias_of(base.value) == "datetime"
+                ):
+                    self._flag(
+                        node, "wall-clock",
+                        f"datetime {func.attr}() reads the wall clock",
+                    )
+        self.generic_visit(node)
+
+    # -- iteration over sets -----------------------------------------------
+
+    def _check_iterable(self, iterable: ast.expr) -> None:
+        unordered = None
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            unordered = "a set display"
+        elif isinstance(iterable, ast.Call) and isinstance(
+            iterable.func, ast.Name
+        ) and iterable.func.id in ("set", "frozenset"):
+            unordered = f"{iterable.func.id}(...)"
+        if unordered is not None:
+            self._flag(
+                iterable, "set-iteration",
+                f"iterating {unordered} visits elements in arbitrary "
+                f"(hash-dependent) order; wrap it in sorted()",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehensions(self, node) -> None:
+        for comp in node.generators:
+            self._check_iterable(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehensions
+    visit_SetComp = _visit_comprehensions
+    visit_DictComp = _visit_comprehensions
+    visit_GeneratorExp = _visit_comprehensions
+
+    # -- mutable defaults --------------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            mutable = None
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                mutable = "a mutable literal"
+            elif isinstance(default, ast.Call) and isinstance(
+                default.func, ast.Name
+            ) and default.func.id in ("list", "dict", "set", "bytearray"):
+                mutable = f"{default.func.id}()"
+            if mutable is not None:
+                self._flag(
+                    default, "mutable-default",
+                    f"default argument is {mutable}, shared across every "
+                    f"call; use None and create it in the body",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- swallowed SimulationError -----------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        caught = self._caught_names(node.type)
+        if caught & _SWALLOWING_CATCHES or node.type is None:
+            if not any(
+                isinstance(child, ast.Raise) for child in ast.walk(node)
+            ):
+                what = ", ".join(sorted(caught)) if caught else "everything"
+                self._flag(
+                    node, "swallow-simulation-error",
+                    f"handler catches {what} without re-raising; a "
+                    f"SimulationError (invariant violation) would be "
+                    f"silently dropped",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _caught_names(node: Optional[ast.expr]) -> Set[str]:
+        if node is None:
+            return set()
+        names: Set[str] = set()
+        targets = node.elts if isinstance(node, ast.Tuple) else [node]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.add(target.attr)
+        return names
+
+
+def lint_source(source: str, rel_path: str) -> List[SrcIssue]:
+    """Lint one module's source text (``rel_path`` is for reporting and
+    the wall-clock allowlist)."""
+    tree = ast.parse(source, filename=rel_path)
+    visitor = _Visitor(rel_path, source.splitlines())
+    visitor.visit(tree)
+    issues = visitor.issues
+    if rel_path.replace("\\", "/").endswith(_WALL_CLOCK_ALLOWED):
+        issues = [i for i in issues if i.rule != "wall-clock"]
+    return issues
+
+
+def lint_path(path: Path, root: Path) -> List[SrcIssue]:
+    rel = path.relative_to(root).as_posix()
+    return lint_source(path.read_text(encoding="utf-8"), rel)
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_tree(root: Optional[Path] = None) -> List[SrcIssue]:
+    """Lint every ``*.py`` under ``root`` (default: the repro package)."""
+    root = Path(root) if root is not None else default_root()
+    issues: List[SrcIssue] = []
+    for path in sorted(root.rglob("*.py")):
+        issues.extend(lint_path(path, root))
+    return issues
+
+
+def format_issues(issues: Iterable[SrcIssue]) -> str:
+    issues = list(issues)
+    if not issues:
+        return "src lint: clean"
+    lines = [f"src lint: {len(issues)} issue(s):"]
+    lines.extend(f"  {issue}" for issue in issues)
+    return "\n".join(lines)

@@ -130,7 +130,10 @@ def _print_summary(runner: ExperimentRunner) -> None:
     )
 
 
-_CHECKS = ("lint", "races", "litmus", "invariants", "faults")
+_CHECKS = (
+    "lint", "races", "litmus", "invariants", "faults",
+    "model", "lockorder", "srclint",
+)
 _CHECK_APPS = ("MP3D", "LU", "PTHOR")
 
 
@@ -193,6 +196,49 @@ def run_fault_matrix(
     return 0 if report.ok else 1
 
 
+def run_model_check(
+    mc_config: Optional[dict] = None,
+    mutation: Optional[str] = None,
+    fingerprint_path: Optional[str] = None,
+) -> int:
+    """The ``check --model-check`` entry point: exhaustively enumerate
+    the abstract protocol, print the verdict (and the counterexample
+    trace if an invariant broke), and optionally compare the
+    reachable-state fingerprint against a cached one so CI fails fast on
+    unreviewed protocol diffs.  Returns nonzero on a violation or a
+    fingerprint mismatch."""
+    import pathlib
+
+    from repro.analysis.modelcheck import (
+        ModelConfig, check_protocol, format_counterexample,
+    )
+
+    config = ModelConfig(**(mc_config or {}))
+    result = check_protocol(config, mutation=mutation)
+    print(f"[model] {result.summary()}")
+    if result.violation is not None:
+        print(format_counterexample(result.violation))
+        return 1
+    if fingerprint_path:
+        path = pathlib.Path(fingerprint_path)
+        if path.exists():
+            cached = path.read_text().strip()
+            if cached != result.fingerprint:
+                print(
+                    f"[model] fingerprint MISMATCH: cached {cached[:16]} "
+                    f"!= computed {result.fingerprint[:16]} — the "
+                    f"reachable state space changed; review the protocol "
+                    f"diff and delete {path} to accept"
+                )
+                return 1
+            print(f"[model] fingerprint matches cache ({path})")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(result.fingerprint + "\n")
+            print(f"[model] fingerprint cached to {path}")
+    return 0
+
+
 def run_check(
     app: str,
     checks: List[str],
@@ -200,12 +246,18 @@ def run_check(
     fault_level: str = "smoke",
     seed: int = 0,
     max_events: Optional[int] = None,
+    strict: bool = False,
+    mc_config: Optional[dict] = None,
+    mc_mutation: Optional[str] = None,
+    mc_fingerprint: Optional[str] = None,
 ) -> int:
     """The ``repro check`` subcommand: op-stream lint, race detection,
-    litmus consistency checks, and a sanitized simulation.  Returns a
-    nonzero exit status on lint errors, litmus violations, or invariant
-    failures; data races are reported but do not fail the check (MP3D's
-    move-phase races are benign and acknowledged by the paper)."""
+    litmus consistency checks, a sanitized simulation, and the static
+    passes (protocol model check, lock-order analysis, source lint).
+    Returns a nonzero exit status on lint errors, litmus violations, or
+    invariant failures; data races are reported but do not fail the
+    check (MP3D's move-phase races are benign and acknowledged by the
+    paper).  ``strict`` promotes warnings to failures."""
     from repro.analysis.executor import LogicalExecutor
     from repro.analysis.oplint import OpLinter
     from repro.analysis.race_detector import RaceDetector
@@ -215,7 +267,7 @@ def run_check(
 
     if "lint" in checks or "races" in checks:
         for name, program, processes in _check_programs(app):
-            linter = OpLinter()
+            linter = OpLinter(source=name)
             detector = RaceDetector()
             listeners = []
             if "lint" in checks:
@@ -229,7 +281,7 @@ def run_check(
                   f"{summary.num_threads} threads")
             if "lint" in checks:
                 print(f"  {linter.format_issues()}")
-                if linter.errors:
+                if linter.failures(strict):
                     failed = True
             if "races" in checks:
                 print(f"  {detector.format_reports()}")
@@ -265,7 +317,7 @@ def run_check(
             machine.load(program)
             try:
                 machine.run()
-            except SimulationError as exc:
+            except SimulationError as exc:  # srclint: ok(swallow-simulation-error) — reported, fails the check
                 print(f"[invariants] {name}: FAILED\n{exc}")
                 failed = True
             else:
@@ -276,6 +328,30 @@ def run_check(
         if run_fault_matrix(
             app, fault_level, seed=seed, max_events=max_events, verbose=verbose
         ):
+            failed = True
+
+    if "model" in checks:
+        if run_model_check(
+            mc_config, mutation=mc_mutation, fingerprint_path=mc_fingerprint
+        ):
+            failed = True
+
+    if "lockorder" in checks:
+        from repro.analysis.lockorder import analyze_apps
+
+        names = _CHECK_APPS if app == "all" else (app,)
+        for report in analyze_apps(names):
+            print(f"[lockorder] {report.format()}")
+            bad = report.findings if strict else report.errors
+            if bad:
+                failed = True
+
+    if "srclint" in checks:
+        from repro.analysis.srclint import default_root, format_issues, lint_tree
+
+        issues = lint_tree()
+        print(f"[srclint] {default_root()}: {format_issues(issues)}")
+        if issues:
             failed = True
 
     print("check: FAILED" if failed else "check: ok")
@@ -296,7 +372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
                  "summary", "all", "check"],
         help="which artifact to regenerate, or 'check' to run the "
-             "analysis suite (lint, races, litmus, invariants)",
+             "analysis suite (lint, races, litmus, invariants, plus the "
+             "static passes: model, lockorder, srclint)",
     )
     parser.add_argument(
         "--scale",
@@ -315,8 +392,73 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="comma-separated subset of checks to run: "
              + ",".join(_CHECKS)
-             + " (default: lint,races,litmus,invariants; just 'faults' "
-             "when --faults is given)",
+             + " (default: lint,races,litmus,invariants; just the "
+             "selected checks when --faults, --model-check, "
+             "--lock-order, or --lint-src is given)",
+    )
+    parser.add_argument(
+        "--model-check",
+        action="store_true",
+        help="exhaustively model-check the abstract directory protocol "
+             "(SWMR, data values, directory precision, no stuck states) "
+             "over the --mc-* bounds, printing a minimal counterexample "
+             "trace on violation",
+    )
+    parser.add_argument(
+        "--lock-order",
+        action="store_true",
+        help="static deadlock analysis: build the lock/barrier "
+             "acquisition graph of each application's op streams and "
+             "report lock-order cycles and barrier mismatches",
+    )
+    parser.add_argument(
+        "--lint-src",
+        action="store_true",
+        help="determinism lint over the simulator source itself "
+             "(unseeded random, wall-clock reads, unordered-set "
+             "iteration, mutable defaults, swallowed SimulationError)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote warnings to failures (op-stream lint warnings, "
+             "lock-order warnings)",
+    )
+    parser.add_argument(
+        "--mc-caches", type=int, default=2, metavar="N",
+        help="model checker bound: number of caches (default 2)",
+    )
+    parser.add_argument(
+        "--mc-lines", type=int, default=1, metavar="N",
+        help="model checker bound: number of lines (default 1)",
+    )
+    parser.add_argument(
+        "--mc-values", type=int, default=2, metavar="N",
+        help="model checker bound: distinct data values (default 2)",
+    )
+    parser.add_argument(
+        "--mc-in-flight", type=int, default=2, metavar="N",
+        help="model checker bound: messages in flight (default 2)",
+    )
+    parser.add_argument(
+        "--mc-retries", type=int, default=2, metavar="N",
+        help="model checker bound: NACK retry budget (default 2)",
+    )
+    parser.add_argument(
+        "--mc-mutate",
+        choices=["skip-invalidation", "lost-writeback", "nack-forever"],
+        default=None,
+        help="model-check a deliberately broken protocol variant (demo: "
+             "each mutation yields a minimal counterexample trace)",
+    )
+    parser.add_argument(
+        "--mc-fingerprint",
+        default=None,
+        metavar="PATH",
+        help="cache the model checker's reachable-state fingerprint at "
+             "PATH: written when absent, compared when present "
+             "(mismatch fails the check — CI's fast protocol-diff "
+             "detector)",
     )
     parser.add_argument(
         "--faults",
@@ -347,16 +489,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.what == "check":
+        # Dedicated-check flags: any combination of --faults,
+        # --model-check, --lock-order, --lint-src given without --checks
+        # runs exactly those checks.
+        selected = []
+        if args.faults != "none":
+            selected.append("faults")
+        if args.model_check:
+            selected.append("model")
+        if args.lock_order:
+            selected.append("lockorder")
+        if args.lint_src:
+            selected.append("srclint")
         if args.checks is not None:
             checks = [c.strip() for c in args.checks.split(",") if c.strip()]
-        elif args.faults != "none":
-            checks = ["faults"]  # dedicated fault-matrix invocation
+            checks.extend(c for c in selected if c not in checks)
+        elif selected:
+            checks = selected
         else:
             checks = ["lint", "races", "litmus", "invariants"]
         unknown = set(checks) - set(_CHECKS)
         if unknown:
             parser.error(f"unknown checks: {', '.join(sorted(unknown))}")
         fault_level = args.faults if args.faults != "none" else "smoke"
+        from repro.faults.plan import BackoffPolicy
+
+        mc_config = dict(
+            num_caches=args.mc_caches,
+            num_lines=args.mc_lines,
+            num_values=args.mc_values,
+            max_in_flight=args.mc_in_flight,
+            backoff=BackoffPolicy(max_retries=args.mc_retries),
+        )
         return run_check(
             args.app,
             checks,
@@ -364,6 +528,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_level=fault_level,
             seed=args.seed,
             max_events=args.max_events,
+            strict=args.strict,
+            mc_config=mc_config,
+            mc_mutation=args.mc_mutate,
+            mc_fingerprint=args.mc_fingerprint,
         )
 
     runner = ExperimentRunner(

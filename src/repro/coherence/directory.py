@@ -75,6 +75,14 @@ class Directory:
         """Record that this directory NACKed a request for ``line``."""
         self.nacks_sent += 1
 
+    def reset(self) -> None:
+        """Zero the per-run counters (``nacks_sent``) without touching
+        the line entries.  Machines are built fresh per run, so this
+        exists for callers that reuse a directory across supervised
+        runs; the sanitizer separately asserts counters never go
+        negative, so a stale or corrupted counter cannot hide."""
+        self.nacks_sent = 0
+
     def entry(self, line: int) -> DirectoryEntry:
         entry = self._entries.get(line)
         if entry is None:

@@ -77,6 +77,37 @@ class ProtocolStats:
     prefetch_upgrades: int = 0
     prefetch_fills_by_class: dict = field(default_factory=dict)
 
+    def reset(self) -> None:
+        """Zero every counter (fresh-run state for a reused protocol)."""
+        self.reads_by_class.clear()
+        self.writes_by_class.clear()
+        self.prefetch_fills_by_class.clear()
+        self.invalidations_sent = 0
+        self.ownership_transfers = 0
+        self.writes_line_present = 0
+        self.writes_total = 0
+        self.sharing_writebacks = 0
+        self.eviction_writebacks = 0
+        self.prefetches_issued = 0
+        self.prefetch_upgrades = 0
+
+    def counter_items(self):
+        """``(name, value)`` for every scalar counter, plus the per-class
+        dict entries flattened — the sanitizer's non-negativity sweep."""
+        for name in (
+            "invalidations_sent", "ownership_transfers",
+            "writes_line_present", "writes_total", "sharing_writebacks",
+            "eviction_writebacks", "prefetches_issued", "prefetch_upgrades",
+        ):
+            yield name, getattr(self, name)
+        for label, counts in (
+            ("reads", self.reads_by_class),
+            ("writes", self.writes_by_class),
+            ("prefetch_fills", self.prefetch_fills_by_class),
+        ):
+            for access_class, value in counts.items():
+                yield f"{label}[{access_class.value}]", value
+
     def count_prefetch(self, access_class: AccessClass) -> None:
         self.prefetch_fills_by_class[access_class] = (
             self.prefetch_fills_by_class.get(access_class, 0) + 1

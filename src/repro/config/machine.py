@@ -212,6 +212,12 @@ class MachineConfig:
 
     write_buffer_depth: int = 16
     prefetch_buffer_depth: int = 16
+    #: Reads may bypass buffered writes to other addresses (the paper's
+    #: write buffer has "read bypassing").  The consistency model must
+    #: also permit it (``ConsistencyPolicy.reads_bypass_writes``); set
+    #: false to ablate bypassing under PC/WC/RC — litmus verdicts must
+    #: not change, only timing.
+    write_buffer_bypass: bool = True
     #: Maximum write misses the lockup-free secondary cache keeps in
     #: flight simultaneously (pipelining of writes under RC).
     max_outstanding_writes: int = 8

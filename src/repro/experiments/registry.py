@@ -115,9 +115,9 @@ class ExperimentRunner:
         record = self._cache.get(key)
         if record is None:
             program = build_app(app, self.scale, prefetching)
-            start = time.perf_counter()
+            start = time.perf_counter()  # srclint: ok(wall-clock) — harness timing only
             result = run_program(program, config)
-            record = RunRecord(result, time.perf_counter() - start)
+            record = RunRecord(result, time.perf_counter() - start)  # srclint: ok(wall-clock)
             self._cache[key] = record
             if self.verbose:
                 print(

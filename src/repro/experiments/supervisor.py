@@ -142,7 +142,7 @@ class ExperimentSupervisor:
         return report
 
     def _run_one(self, name: str, job: Callable[..., object]) -> SweepEntry:
-        start = time.perf_counter()
+        start = time.perf_counter()  # srclint: ok(wall-clock) — harness timing, never enters sim state
         error: Optional[str] = None
         for attempt in range(1, self.max_attempts + 1):
             try:
@@ -150,7 +150,7 @@ class ExperimentSupervisor:
             except TRANSIENT_ERRORS as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 continue  # transient: worth one more attempt
-            except Exception as exc:  # crash isolation: never unwind the sweep
+            except Exception as exc:  # crash isolation: never unwind the sweep  # srclint: ok(swallow-simulation-error)
                 error = f"{type(exc).__name__}: {exc}"
                 break
             status = (
@@ -160,7 +160,7 @@ class ExperimentSupervisor:
                 name=name,
                 status=status,
                 attempts=attempt,
-                wall_seconds=time.perf_counter() - start,
+                wall_seconds=time.perf_counter() - start,  # srclint: ok(wall-clock)
                 result=result,
                 error=error if status is ConfigStatus.DEGRADED else None,
             )
@@ -168,7 +168,7 @@ class ExperimentSupervisor:
             name=name,
             status=ConfigStatus.FAILED,
             attempts=min(attempt, self.max_attempts),
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=time.perf_counter() - start,  # srclint: ok(wall-clock)
             error=error,
         )
 

@@ -169,6 +169,11 @@ class Machine:
                 f"processors {unfinished} still blocked — check the "
                 "program's synchronization\n" + self.waiters_report()
             )
+        if self.sanitizer is not None:
+            # End-of-run full-state sweep: every cache, directory,
+            # buffer, and event counter — the per-transaction hooks only
+            # visit the line each access touched.
+            self.sanitizer.check_machine()
         return self._collect()
 
     def waiters_report(self) -> str:

@@ -133,7 +133,11 @@ class NodeMemoryInterface:
             ready = max(now + 1, miss.complete_time)
             return ReadResult(ready, AccessClass.SECONDARY_HIT, miss.is_prefetch)
 
-        if self.policy.reads_bypass_writes and line in self._wb_lines:
+        if (
+            self.config.write_buffer_bypass
+            and self.policy.reads_bypass_writes
+            and line in self._wb_lines
+        ):
             # Same-line forward out of the write buffer: free.
             self.store_forwards += 1
             lat = self.config.latency.read_primary_hit

@@ -238,6 +238,41 @@ class TestOpLint:
             [O.read(region.base + 10_000_000)], allocator=allocator
         ) == ["unmapped-addr"]
 
+    def test_location_format_is_stable(self):
+        """``source:t<thread>:op#<index>`` is machine-parseable and part
+        of the tool contract (CI greps it)."""
+        issues = lint_ops([(42, 0)], thread=3, source="myapp")
+        issue = issues[0]
+        assert issue.source == "myapp"
+        assert issue.location == "myapp:t3:op#0"
+        assert str(issue) == (
+            "[error] myapp:t3:op#0 unknown-opcode: "
+            "opcode 42 is not in the Tango vocabulary"
+        )
+
+    def test_location_defaults_and_end_of_stream_marker(self):
+        issues = lint_ops([O.lock(64)])
+        assert issues[0].code == "lock-left-held"
+        assert issues[0].location == "<ops>:t0:op#-1"
+
+    def test_lint_program_stamps_program_name_as_source(self):
+        from repro.apps.lu.app import LUConfig, lu_program
+
+        program = lu_program(LUConfig(n=12))
+        linter = OpLinter(source=program.name)
+        assert linter.source == program.name
+
+    def test_failures_strict_promotes_warnings(self):
+        from repro.analysis.oplint import WARNING, LintIssue
+
+        linter = OpLinter()
+        linter.issues.append(
+            LintIssue(WARNING, 0, 1, "some-warning", "advisory")
+        )
+        assert linter.failures() == []
+        assert linter.failures(strict=True) == linter.issues
+        assert linter.warnings == linter.issues
+
     def test_lint_program_clean_on_real_apps(self):
         from repro.apps.lu.app import LUConfig, lu_program
         from repro.apps.mp3d.app import MP3DConfig, mp3d_program

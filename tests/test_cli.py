@@ -51,3 +51,86 @@ def test_max_events_aborts_run(capsys):
     out = capsys.readouterr().out
     assert "event limit 100 exceeded" in out
     assert "check: FAILED" in out
+
+
+# -- static-analysis checks: model, lockorder, srclint ------------------------
+
+
+def test_model_check_flag_passes_and_prints_summary(capsys):
+    status = main(["check", "--model-check"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "[model]" in out
+    assert "no invariant violations" in out
+    assert "[litmus]" not in out  # dedicated flag runs only its check
+    assert "check: ok" in out
+
+
+def test_model_check_mutation_fails_with_counterexample(capsys):
+    status = main(["check", "--model-check", "--mc-mutate", "skip-invalidation"])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "counterexample" in out
+    assert "check: FAILED" in out
+
+
+def test_model_check_fingerprint_cache_roundtrip(tmp_path, capsys):
+    fp = str(tmp_path / "model.fingerprint")
+    assert main(["check", "--model-check", "--mc-fingerprint", fp]) == 0
+    assert "fingerprint cached" in capsys.readouterr().out
+    assert main(["check", "--model-check", "--mc-fingerprint", fp]) == 0
+    assert "fingerprint matches" in capsys.readouterr().out
+
+
+def test_model_check_fingerprint_mismatch_fails(tmp_path, capsys):
+    fp = tmp_path / "model.fingerprint"
+    fp.write_text("0" * 64 + "\n")
+    status = main(["check", "--model-check", "--mc-fingerprint", str(fp)])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "MISMATCH" in out
+
+
+def test_model_check_bounds_are_settable(capsys):
+    status = main(
+        ["check", "--model-check", "--mc-caches", "1", "--mc-values", "1",
+         "--mc-in-flight", "1"]
+    )
+    assert status == 0
+    assert "[model]" in capsys.readouterr().out
+
+
+def test_lock_order_flag_runs_all_apps_clean(capsys):
+    status = main(["check", "--lock-order"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert out.count("[lockorder]") == 3  # MP3D, LU, PTHOR
+    assert "no ordering hazards" in out
+
+
+def test_lint_src_flag_runs_clean(capsys):
+    status = main(["check", "--lint-src"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "[srclint]" in out
+    assert "src lint: clean" in out
+
+
+def test_static_flags_combine(capsys):
+    status = main(["check", "--lint-src", "--lock-order", "--model-check"])
+    out = capsys.readouterr().out
+    assert status == 0
+    for tag in ("[model]", "[lockorder]", "[srclint]"):
+        assert tag in out
+
+
+def test_checks_list_accepts_new_names(capsys):
+    status = main(["check", "--checks", "srclint"])
+    assert status == 0
+    assert "[srclint]" in capsys.readouterr().out
+
+
+def test_strict_flag_accepted_with_lint(capsys):
+    status = main(["check", "--app", "LU", "--checks", "lint", "--strict"])
+    assert status == 0
+    assert "check: ok" in capsys.readouterr().out

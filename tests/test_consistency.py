@@ -201,3 +201,60 @@ class TestLitmusMatrix:
 
         results = verify_litmus()
         assert len(results) == 20  # 5 tests x 4 models
+
+
+class TestLitmusEdgeCases:
+    """Config-ablation litmus runs: verdicts must survive turning the
+    write-buffer read bypass off and installing an empty fault plan."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        from repro.analysis.litmus import standard_suite
+
+        return {test.name: test for test in standard_suite()}
+
+    @pytest.mark.parametrize("bypass", [True, False])
+    def test_iriw_under_rc_with_and_without_wb_bypass(self, suite, bypass):
+        """IRIW's write atomicity comes from the invalidation protocol,
+        not from buffer bypassing: the verdict is identical either way."""
+        from repro.analysis.litmus import run_litmus
+
+        result = run_litmus(
+            suite["IRIW"], Consistency.RC,
+            config_overrides={"write_buffer_bypass": bypass},
+        )
+        assert result.ok, result.explain()
+        assert (1, 0, 1, 0) not in result.observed  # readers never disagree
+
+    def test_wb_bypass_ablation_preserves_sb_verdicts(self, suite):
+        """Store buffering under RC relaxes via buffered *writes*; reads
+        bypassing the buffer is orthogonal, so (0, 0) appears with the
+        bypass disabled too."""
+        from repro.analysis.litmus import run_litmus
+
+        on = run_litmus(suite["SB"], Consistency.RC)
+        off = run_litmus(
+            suite["SB"], Consistency.RC,
+            config_overrides={"write_buffer_bypass": False},
+        )
+        assert on.ok and off.ok
+        assert (0, 0) in off.observed
+
+    @pytest.mark.parametrize("name", ["SB", "MP_flag", "IRIW"])
+    def test_empty_fault_plan_leaves_verdicts_unchanged(self, suite, name):
+        """A seeded-but-empty FaultPlan installs no fault layer; every
+        observed outcome set must be bit-identical to the plain run."""
+        from repro.analysis.litmus import run_litmus
+        from repro.faults import FaultPlan
+
+        for model in (Consistency.SC, Consistency.RC):
+            plain = run_litmus(suite[name], model)
+            faulted = run_litmus(
+                suite[name], model,
+                config_overrides={
+                    "fault_plan": FaultPlan.empty(), "seed": 1234,
+                },
+            )
+            assert faulted.ok, faulted.explain()
+            assert faulted.observed == plain.observed
+            assert faulted.by_schedule == plain.by_schedule

@@ -75,3 +75,22 @@ class TestWriteback:
         entry.sharers = set()
         entry.owner = 1
         entry.check()
+
+
+class TestNackCounter:
+    def test_note_nack_accumulates(self):
+        directory = Directory(0)
+        directory.note_nack(0x100)
+        directory.note_nack(0x100)
+        assert directory.nacks_sent == 2
+
+    def test_reset_zeroes_counter_but_keeps_entries(self):
+        directory = Directory(0)
+        entry = directory.entry(0x100)
+        entry.state = DirState.SHARED
+        entry.sharers = {1}
+        directory.note_nack(0x100)
+        directory.reset()
+        assert directory.nacks_sent == 0
+        assert directory.peek(0x100) is entry
+        assert entry.sharers == {1}

@@ -348,3 +348,66 @@ def test_sweep_with_one_hostile_config_degrades_gracefully():
     assert report.failed[0].attempts == 2
     assert len(report.results()) == 2
     assert "RetryBudgetExceeded" in report.failed[0].error
+
+
+# -- counter hygiene across supervised runs ----------------------------------
+
+
+def test_back_to_back_supervised_runs_do_not_leak_counters():
+    """Regression: two identical seeded fault runs in one supervised
+    sweep must report identical per-run counters — machines are built
+    fresh, so nothing (nacks_sent, retries, protocol stats) may
+    accumulate from the first run into the second."""
+    machines = []
+
+    def job():
+        machine = Machine(
+            smoke_config(sanitize=True, fault_plan=FaultPlan.smoke(seed=11))
+        )
+        machine.load(smoke_program("LU"))
+        result = machine.run()
+        machines.append(machine)
+        return result
+
+    report = ExperimentSupervisor().run_sweep(
+        "leak-check", [("first", job), ("second", job)]
+    )
+    assert report.ok
+    first, second = report.results()
+    assert first.faults.nacks_injected == second.faults.nacks_injected
+    assert first.faults.retries == second.faults.retries
+    assert first.execution_time == second.execution_time
+    totals = [
+        sum(d.nacks_sent for d in machine.directories)
+        for machine in machines
+    ]
+    assert totals[0] == totals[1] == first.faults.nacks_injected
+    for machine in machines:
+        for name, value in machine.protocol.stats.counter_items():
+            assert value >= 0, name
+
+
+def test_directory_and_stats_reset():
+    """The explicit reset hooks zero the counters a reused machine
+    would otherwise carry over."""
+    machine = Machine(
+        smoke_config(sanitize=True, fault_plan=FaultPlan.smoke(seed=11))
+    )
+    machine.load(smoke_program("LU"))
+    machine.run()
+    stats = machine.protocol.stats
+    assert any(value > 0 for _name, value in stats.counter_items())
+    stats.reset()
+    assert all(value == 0 for _name, value in stats.counter_items())
+    for directory in machine.directories:
+        directory.reset()
+        assert directory.nacks_sent == 0
+
+
+def test_sanitizer_catches_negative_counter():
+    """The end-of-run full sweep now asserts counter non-negativity."""
+    machine = Machine(smoke_config(sanitize=True))
+    machine.load(smoke_program("LU"))
+    machine.directories[0].nacks_sent = -1
+    with pytest.raises(SimulationError, match="nacks_sent"):
+        machine.run()

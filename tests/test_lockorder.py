@@ -1,0 +1,170 @@
+"""Tests for the static lock-order deadlock analyzer."""
+
+from repro.analysis.lockorder import analyze_apps, analyze_program
+from repro.tango import Program
+from repro.tango import ops as O
+
+
+def _program(thread_bodies, name="lockorder-test", shared=("data", 256)):
+    """A program with fixed per-thread op scripts over one region."""
+    region_name, size = shared
+
+    def setup(allocator, num_processes):
+        return allocator.alloc_round_robin(region_name, size)
+
+    def factory(region, env):
+        def thread():
+            for op in thread_bodies[env.process_id](region):
+                yield op
+
+        return thread()
+
+    return Program(name, setup, factory)
+
+
+def _codes(report):
+    return [finding.code for finding in report.findings]
+
+
+class TestLockOrderCycles:
+    def test_conflicting_two_lock_order_is_flagged(self):
+        """Thread 0 takes A then B; thread 1 takes B then A: the classic
+        deadlock.  The graph analysis must flag it even though edges are
+        discovered from an interleaving that may or may not hang."""
+        a, b = 0, 16
+        bodies = [
+            lambda r: [O.lock(r.addr(a)), O.lock(r.addr(b)),
+                       O.unlock(r.addr(b)), O.unlock(r.addr(a))],
+            lambda r: [O.lock(r.addr(b)), O.lock(r.addr(a)),
+                       O.unlock(r.addr(a)), O.unlock(r.addr(b))],
+        ]
+        report = analyze_program(_program(bodies), 2)
+        assert "lock-order-cycle" in _codes(report)
+        assert not report.ok
+        cycle = next(
+            f for f in report.findings if f.code == "lock-order-cycle"
+        )
+        # Witness sites name the threads that created the edges.
+        assert cycle.sites
+        assert {site.thread for site in cycle.sites} <= {0, 1}
+
+    def test_consistent_order_is_clean(self):
+        a, b = 0, 16
+        bodies = [
+            lambda r: [O.lock(r.addr(a)), O.lock(r.addr(b)),
+                       O.unlock(r.addr(b)), O.unlock(r.addr(a))],
+        ] * 2
+        report = analyze_program(_program(bodies), 2)
+        assert report.ok
+        assert "lock-order-cycle" not in _codes(report)
+        assert len(report.locks_seen) == 2
+        assert report.edges  # A -> B recorded
+
+    def test_three_lock_rotation_cycle(self):
+        a, b, c = 0, 16, 32
+        orders = [(a, b), (b, c), (c, a)]
+        bodies = [
+            (lambda order: lambda r: [
+                O.lock(r.addr(order[0])), O.lock(r.addr(order[1])),
+                O.unlock(r.addr(order[1])), O.unlock(r.addr(order[0])),
+            ])(order)
+            for order in orders
+        ]
+        report = analyze_program(_program(bodies), 3)
+        cycle = next(
+            f for f in report.findings if f.code == "lock-order-cycle"
+        )
+        # The rendered cycle closes on itself: a -> b -> c -> a.
+        assert cycle.message.count("->") >= 3
+
+    def test_single_thread_nesting_is_not_a_cycle(self):
+        a, b = 0, 16
+        bodies = [
+            lambda r: [O.lock(r.addr(a)), O.lock(r.addr(b)),
+                       O.unlock(r.addr(b)), O.unlock(r.addr(a)),
+                       O.lock(r.addr(b)), O.unlock(r.addr(b))],
+        ]
+        report = analyze_program(_program(bodies), 1)
+        assert "lock-order-cycle" not in _codes(report)
+
+
+class TestBarrierParticipation:
+    def test_conflicting_counts_flagged(self):
+        bodies = [
+            lambda r: [O.barrier(r.addr(0), 2)],
+            lambda r: [O.barrier(r.addr(0), 3)],
+        ]
+        report = analyze_program(_program(bodies), 2)
+        assert "barrier-mismatch" in _codes(report)
+
+    def test_overcommitted_barrier_flagged(self):
+        bodies = [lambda r: [O.barrier(r.addr(0), 5)]] * 2
+        report = analyze_program(_program(bodies), 2)
+        assert "barrier-overcommit" in _codes(report)
+
+    def test_starved_barrier_flagged(self):
+        # Declares 2 participants, but only thread 0 ever arrives.
+        bodies = [
+            lambda r: [O.barrier(r.addr(0), 2)],
+            lambda r: [O.busy(1)],
+        ]
+        report = analyze_program(_program(bodies), 2)
+        assert "barrier-starved" in _codes(report)
+        # The analyzed schedule itself also deadlocks; that is reported
+        # separately, not silently merged into the static finding.
+        assert "schedule-deadlock" in _codes(report)
+
+    def test_full_participation_is_clean(self):
+        bodies = [lambda r: [O.barrier(r.addr(0), 3)]] * 3
+        report = analyze_program(_program(bodies), 3)
+        assert report.ok
+        assert report.barriers_seen
+
+
+class TestWarnings:
+    def test_lock_held_across_barrier_is_a_warning(self):
+        bodies = [
+            lambda r: [O.lock(r.addr(16)), O.barrier(r.addr(0), 2),
+                       O.unlock(r.addr(16))],
+            lambda r: [O.barrier(r.addr(0), 2)],
+        ]
+        report = analyze_program(_program(bodies), 2)
+        warning = next(
+            f for f in report.findings
+            if f.code == "lock-held-at-blocking-op"
+        )
+        assert warning.severity == "warning"
+        # Warnings alone do not fail the report.
+        assert report.ok
+
+    def test_format_renders_findings(self):
+        bodies = [
+            lambda r: [O.barrier(r.addr(0), 2)],
+            lambda r: [O.barrier(r.addr(0), 3)],
+        ]
+        text = analyze_program(_program(bodies), 2).format()
+        assert "lock-order [lockorder-test]" in text
+        assert "barrier-mismatch" in text
+
+    def test_clean_format(self):
+        bodies = [lambda r: [O.busy(1)]]
+        text = analyze_program(_program(bodies), 1).format()
+        assert "no ordering hazards" in text
+
+
+class TestRealApplications:
+    def test_paper_apps_have_no_ordering_hazards(self):
+        reports = analyze_apps()
+        assert [r.program for r in reports] == [
+            "mp3d-smoke", "lu-smoke", "pthor-smoke",
+        ] or len(reports) == 3  # names are informative, count is the contract
+        for report in reports:
+            assert report.ok, report.format()
+            assert "lock-order-cycle" not in _codes(report)
+
+    def test_pthor_actually_uses_locks(self):
+        """PTHOR is the lock-heavy app; the analysis must see its locks,
+        otherwise the clean verdict would be vacuous."""
+        reports = {r.program: r for r in analyze_apps(("PTHOR",))}
+        report = next(iter(reports.values()))
+        assert report.locks_seen

@@ -1,0 +1,230 @@
+"""Tests for the determinism lint over simulator source."""
+
+import textwrap
+
+from repro.analysis.srclint import (
+    default_root,
+    format_issues,
+    lint_source,
+    lint_tree,
+)
+
+
+def _rules(source, rel_path="repro/example.py"):
+    return [issue.rule for issue in lint_source(
+        textwrap.dedent(source), rel_path
+    )]
+
+
+class TestUnseededRandom:
+    def test_global_rng_call_flagged(self):
+        assert _rules("""
+            import random
+            x = random.randint(0, 9)
+        """) == ["unseeded-random"]
+
+    def test_global_seed_flagged_too(self):
+        assert _rules("""
+            import random
+            random.seed(42)
+        """) == ["unseeded-random"]
+
+    def test_from_import_flagged(self):
+        assert _rules("""
+            from random import randint
+        """) == ["unseeded-random"]
+
+    def test_unseeded_instance_flagged(self):
+        assert _rules("""
+            import random
+            rng = random.Random()
+        """) == ["unseeded-random"]
+
+    def test_seeded_instance_ok(self):
+        assert _rules("""
+            import random
+            rng = random.Random(1234)
+            value = rng.randint(0, 9)
+        """) == []
+
+    def test_aliased_module_tracked(self):
+        assert _rules("""
+            import random as rnd
+            x = rnd.random()
+        """) == ["unseeded-random"]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert _rules("""
+            import time
+            t = time.time()
+        """) == ["wall-clock"]
+
+    def test_monotonic_flagged(self):
+        assert _rules("""
+            import time
+            t = time.monotonic()
+        """) == ["wall-clock"]
+
+    def test_from_time_import_flagged(self):
+        assert _rules("""
+            from time import perf_counter
+        """) == ["wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        assert _rules("""
+            from datetime import datetime
+            t = datetime.now()
+        """) == ["wall-clock"]
+
+    def test_time_sleep_is_not_a_read(self):
+        assert _rules("""
+            import time
+            time.sleep(0.1)
+        """) == []
+
+    def test_watchdog_file_is_allowlisted(self):
+        assert _rules("""
+            import time
+            t = time.monotonic()
+        """, rel_path="faults/watchdog.py") == []
+
+
+class TestSetIteration:
+    def test_for_over_set_display_flagged(self):
+        assert _rules("""
+            for x in {1, 2, 3}:
+                pass
+        """) == ["set-iteration"]
+
+    def test_for_over_set_call_flagged(self):
+        assert _rules("""
+            for x in set(items):
+                pass
+        """) == ["set-iteration"]
+
+    def test_comprehension_over_frozenset_flagged(self):
+        assert _rules("""
+            values = [x for x in frozenset(items)]
+        """) == ["set-iteration"]
+
+    def test_sorted_set_ok(self):
+        assert _rules("""
+            for x in sorted({1, 2, 3}):
+                pass
+        """) == []
+
+    def test_plain_list_iteration_ok(self):
+        assert _rules("""
+            for x in [1, 2, 3]:
+                pass
+        """) == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert _rules("""
+            def f(items=[]):
+                return items
+        """) == ["mutable-default"]
+
+    def test_dict_call_default_flagged(self):
+        assert _rules("""
+            def f(table=dict()):
+                return table
+        """) == ["mutable-default"]
+
+    def test_kwonly_default_flagged(self):
+        assert _rules("""
+            def f(*, acc={}):
+                return acc
+        """) == ["mutable-default"]
+
+    def test_none_default_ok(self):
+        assert _rules("""
+            def f(items=None):
+                return items or []
+        """) == []
+
+
+class TestSwallowedSimulationError:
+    def test_swallowing_handler_flagged(self):
+        assert _rules("""
+            try:
+                step()
+            except Exception:
+                pass
+        """) == ["swallow-simulation-error"]
+
+    def test_bare_except_flagged(self):
+        assert _rules("""
+            try:
+                step()
+            except:
+                log()
+        """) == ["swallow-simulation-error"]
+
+    def test_simulation_error_by_name_flagged(self):
+        assert _rules("""
+            try:
+                step()
+            except SimulationError:
+                count += 1
+        """) == ["swallow-simulation-error"]
+
+    def test_reraising_handler_ok(self):
+        assert _rules("""
+            try:
+                step()
+            except Exception:
+                cleanup()
+                raise
+        """) == []
+
+    def test_narrow_catch_ok(self):
+        assert _rules("""
+            try:
+                step()
+            except KeyError:
+                pass
+        """) == []
+
+
+class TestSuppression:
+    def test_ok_comment_with_rule_suppresses(self):
+        assert _rules("""
+            import time
+            t = time.time()  # srclint: ok(wall-clock)
+        """) == []
+
+    def test_bare_ok_comment_suppresses(self):
+        assert _rules("""
+            import time
+            t = time.time()  # srclint: ok
+        """) == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        assert _rules("""
+            import time
+            t = time.time()  # srclint: ok(mutable-default)
+        """) == ["wall-clock"]
+
+
+class TestTree:
+    def test_repro_source_is_clean(self):
+        """The acceptance criterion: the shipped simulator source passes
+        its own determinism lint."""
+        issues = lint_tree()
+        assert issues == [], format_issues(issues)
+
+    def test_default_root_is_the_package(self):
+        assert default_root().name == "repro"
+        assert (default_root() / "cli.py").exists()
+
+    def test_format_issues(self):
+        assert format_issues([]) == "src lint: clean"
+        issues = lint_source("import time\nt = time.time()\n", "x.py")
+        text = format_issues(issues)
+        assert "1 issue(s)" in text
+        assert "x.py:2" in text
