@@ -8,6 +8,13 @@ regime) and prints it next to the paper's published values, so running
 
 produces the full reproduction report.  A session-scoped runner caches
 shared machine configurations across benchmarks.
+
+Fast sweeps: ``--repro-jobs N`` fans the union of all figure/table
+sweep points out over N worker processes before the benchmarks render,
+and ``--repro-cache-dir DIR`` persists results to a content-addressed
+cache so repeat benchmark sessions replay instead of re-simulating
+(``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` work too).  Either way the
+rendered numbers are bit-identical to a serial, uncached session.
 """
 
 import pytest
@@ -15,6 +22,40 @@ import pytest
 from repro.experiments import ExperimentRunner
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--repro-jobs",
+        type=int,
+        default=None,
+        help="worker processes for the benchmark sweep points "
+        "(default: $REPRO_JOBS or 1 = serial)",
+    )
+    group.addoption(
+        "--repro-cache-dir",
+        default=None,
+        help="content-addressed result cache directory "
+        "(default: $REPRO_CACHE_DIR, else disabled)",
+    )
+
+
+#: Targets whose sweep points the runner fixture pre-warms.
+_PREWARM_TARGETS = ("table2", "fig2", "fig3", "fig4", "fig5", "fig6", "summary")
+
+
 @pytest.fixture(scope="session")
-def runner():
-    return ExperimentRunner(scale="bench")
+def runner(request):
+    runner = ExperimentRunner(
+        scale="bench",
+        jobs=request.config.getoption("--repro-jobs"),
+        cache_dir=request.config.getoption("--repro-cache-dir"),
+    )
+    if runner.jobs > 1 or runner.result_cache is not None:
+        from repro.experiments.parallel import sweep_points_for
+
+        report = runner.prewarm(sweep_points_for(_PREWARM_TARGETS, runner))
+        print()
+        print(report.format())
+        if runner.result_cache is not None:
+            print(runner.result_cache.stats_line())
+    return runner

@@ -377,9 +377,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=["bench", "default", "paper"],
+        choices=["bench", "default", "paper", "smoke"],
         default="default",
-        help="workload scale (paper = the full data sets; slow)",
+        help="workload scale (paper = the full data sets; slow; "
+             "smoke = the seconds-scale CI data sets)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent sweep points over N worker processes "
+             "(default: $REPRO_JOBS or 1 = serial; results are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed on-disk result cache: repeat runs of an "
+             "unchanged (app, scale, config, version) point are replayed "
+             "instead of re-simulated (default: $REPRO_CACHE_DIR, else "
+             "disabled)",
     )
     parser.add_argument(
         "--app",
@@ -539,12 +558,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         verbose=args.verbose,
         seed=args.seed,
         max_events=args.max_events,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
     )
     targets = (
         ["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "summary"]
         if args.what == "all"
         else [args.what]
     )
+
+    if runner.jobs > 1 or runner.result_cache is not None:
+        # Fast-sweep path: fan the union of the targets' sweep points
+        # out over the pool / the result cache, then render from the
+        # warmed memo.  The report makes per-entry wall time and cache
+        # hit/miss behaviour visible.
+        from repro.experiments.parallel import sweep_points_for
+
+        points = sweep_points_for(targets, runner)
+        if points:
+            report = runner.prewarm(points)
+            print(report.format())
+            if runner.result_cache is not None:
+                print(runner.result_cache.stats_line())
+            print()
+            if not report.ok:
+                return 1
 
     def render(target: str) -> None:
         if target == "table1":

@@ -9,15 +9,25 @@ from repro.experiments.breakdown import (
     single_context_components,
 )
 from repro.experiments.figures import (
+    FIGURE_VARIANTS,
     figure2,
     figure3,
     figure4,
     figure5,
     figure6,
     summary_speedups,
+    summary_variants,
+)
+from repro.experiments.parallel import (
+    SweepPoint,
+    execute_sweep_points,
+    resolve_jobs,
+    run_point,
+    sweep_points_for,
 )
 from repro.experiments.registry import (
     APP_NAMES,
+    SCALE_NAMES,
     SMOKE_PROCESSES,
     ExperimentRunner,
     app_config,
@@ -25,6 +35,13 @@ from repro.experiments.registry import (
     smoke_program,
 )
 from repro.experiments.report import format_bars, format_table
+from repro.experiments.resultcache import (
+    ResultCache,
+    canonical_result_bytes,
+    config_fingerprint,
+    result_from_bytes,
+    run_fingerprint,
+)
 from repro.experiments.supervisor import (
     ConfigStatus,
     ExperimentSupervisor,
@@ -44,16 +61,29 @@ __all__ = [
     "ConfigStatus",
     "ExperimentRunner",
     "ExperimentSupervisor",
+    "FIGURE_VARIANTS",
     "LatencyProbe",
     "MULTI_COMPONENTS",
+    "ResultCache",
+    "SCALE_NAMES",
     "SINGLE_COMPONENTS",
     "SMOKE_PROCESSES",
     "SweepEntry",
+    "SweepPoint",
     "SweepReport",
     "Table2Row",
     "app_config",
     "build_app",
+    "canonical_result_bytes",
+    "config_fingerprint",
+    "execute_sweep_points",
+    "resolve_jobs",
+    "result_from_bytes",
+    "run_fingerprint",
+    "run_point",
     "smoke_program",
+    "summary_variants",
+    "sweep_points_for",
     "figure2",
     "figure3",
     "figure4",

@@ -1,18 +1,25 @@
 """Regenerators for Figures 2-6 of the paper.
 
-Each ``figure*`` function runs the required machine configurations for
-all three applications through an :class:`ExperimentRunner` and returns
-a ``{app: [Bar, ...]}`` mapping, normalized exactly as the paper's
-stacked bars are: to the figure's own baseline bar.
+Each figure is declared as a list of *variants* — ``(label,
+MachineConfig, prefetching)`` triples, baseline first — and each
+``figure*`` function runs its variants for all three applications
+through an :class:`ExperimentRunner`, returning a ``{app: [Bar, ...]}``
+mapping normalized exactly as the paper's stacked bars are: to the
+figure's own baseline bar.  The variant lists are also consumed by
+:func:`repro.experiments.parallel.sweep_points_for`, which fans the
+union of a target set's sweep points out over a process pool.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.config import Consistency, MachineConfig, dash_scaled_config
 from repro.experiments.breakdown import Bar, normalize
 from repro.experiments.registry import APP_NAMES, ExperimentRunner
+
+#: One bar of a figure: (label, machine config, prefetching).
+Variant = Tuple[str, MachineConfig, bool]
 
 
 def _sc(**kw) -> MachineConfig:
@@ -23,85 +30,132 @@ def _rc(**kw) -> MachineConfig:
     return dash_scaled_config(consistency=Consistency.RC, **kw)
 
 
-def figure2(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
-    """Effect of caching shared data (SC, normalized to no-cache)."""
+def figure2_variants() -> List[Variant]:
+    """Caching shared data, SC (baseline: no cache)."""
+    return [
+        ("no_cache", _sc(caching_shared_data=False), False),
+        ("cache", _sc(), False),
+    ]
+
+
+def figure3_variants() -> List[Variant]:
+    """Consistency models (baseline: SC)."""
+    return [("SC", _sc(), False), ("RC", _rc(), False)]
+
+
+def figure4_variants() -> List[Variant]:
+    """Prefetching under SC and RC (baseline: SC)."""
+    return [
+        ("SC", _sc(), False),
+        ("SC+pf", _sc(), True),
+        ("RC", _rc(), False),
+        ("RC+pf", _rc(), True),
+    ]
+
+
+def figure5_variants() -> List[Variant]:
+    """Multiple contexts under SC, switch overheads 16 and 4
+    (baseline: a single context)."""
+    variants: List[Variant] = [("1ctx", _sc(), False)]
+    for switch in (16, 4):
+        for contexts in (2, 4):
+            config = _sc(
+                contexts_per_processor=contexts,
+                context_switch_cycles=switch,
+            )
+            variants.append((f"{contexts}ctx sw{switch}", config, False))
+    return variants
+
+
+def figure6_variants() -> List[Variant]:
+    """Combining the schemes: {SC, RC, RC+prefetch} x {1, 2, 4 contexts}
+    with a 4-cycle switch (baseline: SC single-context)."""
+    variants: List[Variant] = []
+    for model_label, factory, prefetching in (
+        ("SC", _sc, False),
+        ("RC", _rc, False),
+        ("RC+pf", _rc, True),
+    ):
+        for contexts in (1, 2, 4):
+            config = factory(
+                contexts_per_processor=contexts,
+                context_switch_cycles=4,
+            )
+            variants.append((f"{model_label} {contexts}ctx", config, prefetching))
+    return variants
+
+
+def summary_variants() -> List[Variant]:
+    """Every run the Section 7 headline speedups touch."""
+    variants: List[Variant] = [
+        ("no_cache", _sc(caching_shared_data=False), False),
+        ("SC", _sc(), False),
+        ("RC", _rc(), False),
+        ("RC+pf", _rc(), True),
+    ]
+    for contexts in (1, 2, 4):
+        config = _rc(contexts_per_processor=contexts, context_switch_cycles=4)
+        for prefetching in (False, True):
+            label = f"RC{'+pf' if prefetching else ''} {contexts}ctx sw4"
+            variants.append((label, config, prefetching))
+    return variants
+
+
+#: Figure name -> variant enumerator (baseline first).
+FIGURE_VARIANTS: Dict[str, Callable[[], List[Variant]]] = {
+    "fig2": figure2_variants,
+    "fig3": figure3_variants,
+    "fig4": figure4_variants,
+    "fig5": figure5_variants,
+    "fig6": figure6_variants,
+}
+
+
+def _figure(
+    runner: ExperimentRunner,
+    variants: List[Variant],
+    multi_context: bool = False,
+) -> Dict[str, List[Bar]]:
+    """Run one figure's variants for every app; the first variant is
+    the figure's normalization baseline."""
+    labels = [label for label, _, _ in variants]
     bars: Dict[str, List[Bar]] = {}
     for app in APP_NAMES:
-        no_cache = runner.run(app, _sc(caching_shared_data=False))
-        cached = runner.run(app, _sc())
+        runs = [
+            runner.run(app, config, prefetching=prefetching)
+            for _, config, prefetching in variants
+        ]
         bars[app] = normalize(
-            [no_cache, cached], ["no_cache", "cache"], baseline=no_cache
+            runs, labels, baseline=runs[0], multi_context=multi_context
         )
     return bars
+
+
+def figure2(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
+    """Effect of caching shared data (SC, normalized to no-cache)."""
+    return _figure(runner, figure2_variants())
 
 
 def figure3(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
     """Effect of relaxing the consistency model (normalized to SC)."""
-    bars: Dict[str, List[Bar]] = {}
-    for app in APP_NAMES:
-        sc = runner.run(app, _sc())
-        rc = runner.run(app, _rc())
-        bars[app] = normalize([sc, rc], ["SC", "RC"], baseline=sc)
-    return bars
+    return _figure(runner, figure3_variants())
 
 
 def figure4(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
     """Effect of prefetching under SC and RC (normalized to SC)."""
-    bars: Dict[str, List[Bar]] = {}
-    for app in APP_NAMES:
-        sc = runner.run(app, _sc())
-        sc_pf = runner.run(app, _sc(), prefetching=True)
-        rc = runner.run(app, _rc())
-        rc_pf = runner.run(app, _rc(), prefetching=True)
-        bars[app] = normalize(
-            [sc, sc_pf, rc, rc_pf],
-            ["SC", "SC+pf", "RC", "RC+pf"],
-            baseline=sc,
-        )
-    return bars
+    return _figure(runner, figure4_variants())
 
 
 def figure5(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
     """Effect of multiple contexts under SC, switch overheads 16 and 4
     (normalized to a single context)."""
-    bars: Dict[str, List[Bar]] = {}
-    for app in APP_NAMES:
-        single = runner.run(app, _sc())
-        runs = [single]
-        labels = ["1ctx"]
-        for switch in (16, 4):
-            for contexts in (2, 4):
-                config = _sc(
-                    contexts_per_processor=contexts,
-                    context_switch_cycles=switch,
-                )
-                runs.append(runner.run(app, config))
-                labels.append(f"{contexts}ctx sw{switch}")
-        bars[app] = normalize(runs, labels, baseline=single, multi_context=True)
-    return bars
+    return _figure(runner, figure5_variants(), multi_context=True)
 
 
 def figure6(runner: ExperimentRunner) -> Dict[str, List[Bar]]:
     """Combining the schemes: {SC, RC, RC+prefetch} x {1, 2, 4 contexts}
     with a 4-cycle switch (normalized to SC single-context)."""
-    bars: Dict[str, List[Bar]] = {}
-    for app in APP_NAMES:
-        runs = []
-        labels = []
-        for model_label, factory, prefetching in (
-            ("SC", _sc, False),
-            ("RC", _rc, False),
-            ("RC+pf", _rc, True),
-        ):
-            for contexts in (1, 2, 4):
-                config = factory(
-                    contexts_per_processor=contexts,
-                    context_switch_cycles=4,
-                )
-                runs.append(runner.run(app, config, prefetching=prefetching))
-                labels.append(f"{model_label} {contexts}ctx")
-        bars[app] = normalize(runs, labels, baseline=runs[0], multi_context=True)
-    return bars
+    return _figure(runner, figure6_variants(), multi_context=True)
 
 
 def summary_speedups(runner: ExperimentRunner) -> Dict[str, Dict[str, float]]:

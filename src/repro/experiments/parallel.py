@@ -1,0 +1,305 @@
+"""Process-pool sweep execution over declarative sweep points.
+
+The paper's figures and tables are sweeps of *independent* ``(app,
+technique, MachineConfig)`` points, so they parallelize embarrassingly:
+each point is described by a picklable :class:`SweepPoint` spec, fanned
+out over a :class:`concurrent.futures.ProcessPoolExecutor`, executed in
+a fresh child process (its own :class:`~repro.system.machine.Machine`,
+so crash isolation is free), and shipped back as the *canonical payload
+bytes* of its :class:`~repro.system.results.SimulationResult` — the
+same bytes the result cache stores, so serial, parallel, and replayed
+runs are directly comparable bit-for-bit.
+
+Defaults are determinism-first: ``jobs=1`` (or the ``REPRO_JOBS``
+environment variable) runs every point serially in-process through
+:class:`~repro.experiments.supervisor.ExperimentSupervisor`'s existing
+retry/watchdog machinery.  ``jobs>1`` preserves the supervisor's
+semantics point-for-point — per-entry crash isolation, transient
+retry-once (degraded), wall-clock watchdog limits, and
+:class:`~repro.experiments.supervisor.SweepReport` ordering — it only
+changes *where* each point runs.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig, dash_scaled_config
+from repro.experiments.registry import APP_NAMES, build_app
+from repro.experiments.resultcache import (
+    ResultCache,
+    canonical_result_bytes,
+    result_from_bytes,
+    timed,
+)
+from repro.experiments.supervisor import (
+    TRANSIENT_ERRORS,
+    ConfigStatus,
+    ExperimentSupervisor,
+    SweepEntry,
+    SweepReport,
+)
+from repro.faults.watchdog import Watchdog
+from repro.system import SimulationResult, run_program
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit job count, else ``REPRO_JOBS``, else 1 (serial)."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        jobs = int(raw) if raw else 1
+    return max(1, int(jobs))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent point of a sweep: everything a worker process
+    needs to rebuild and run the simulation (picklable by design —
+    closures cannot cross the process boundary, specs can)."""
+
+    name: str
+    app: str
+    scale: str = "default"
+    prefetching: bool = False
+    config: Optional[MachineConfig] = None
+
+    def resolved_config(self) -> MachineConfig:
+        return self.config if self.config is not None else dash_scaled_config()
+
+
+def run_point(point: SweepPoint, watchdog: Optional[Watchdog] = None) -> SimulationResult:
+    """Build and run one sweep point (in whichever process calls it)."""
+    program = build_app(point.app, point.scale, point.prefetching)
+    return run_program(program, point.resolved_config(), watchdog=watchdog)
+
+
+@dataclass
+class _PointOutcome:
+    """Picklable result envelope shipped back from a worker process."""
+
+    index: int
+    status: str
+    attempts: int
+    wall_seconds: float
+    payload: Optional[bytes]
+    error: Optional[str]
+
+
+def _execute_point_in_worker(args: Tuple[int, SweepPoint, Optional[float], int]) -> _PointOutcome:
+    """Worker-side mirror of ``ExperimentSupervisor._run_one``: crash
+    isolation via try/except, transient failures retried (degraded on
+    the second attempt), wall-clock watchdog per attempt.  Always
+    *returns* — an exception never crosses the pool boundary."""
+    index, point, wall_limit, max_attempts = args
+    start = timed()
+    error: Optional[str] = None
+    attempt = 0
+    for attempt in range(1, max_attempts + 1):
+        watchdog = (
+            Watchdog(wall_clock_limit_s=wall_limit) if wall_limit is not None else None
+        )
+        try:
+            result = run_point(point, watchdog=watchdog)
+        except TRANSIENT_ERRORS as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            continue  # transient: worth one more attempt
+        except Exception as exc:  # crash isolation: report, don't raise  # srclint: ok(swallow-simulation-error)
+            error = f"{type(exc).__name__}: {exc}"
+            break
+        return _PointOutcome(
+            index=index,
+            status=ConfigStatus.PASSED.value
+            if attempt == 1
+            else ConfigStatus.DEGRADED.value,
+            attempts=attempt,
+            wall_seconds=timed() - start,
+            payload=canonical_result_bytes(result),
+            error=error if attempt > 1 else None,
+        )
+    return _PointOutcome(
+        index=index,
+        status=ConfigStatus.FAILED.value,
+        attempts=min(attempt, max_attempts) if attempt else max_attempts,
+        wall_seconds=timed() - start,
+        payload=None,
+        error=error,
+    )
+
+
+def _watchdog_wall_limit(supervisor: ExperimentSupervisor) -> Optional[float]:
+    """Extract the wall-clock budget the supervisor's watchdog factory
+    would grant, so worker processes can arm an equivalent watchdog
+    (the factory itself is usually a closure and cannot be pickled)."""
+    if supervisor.watchdog_factory is None:
+        return None
+    probe = supervisor.watchdog_factory()
+    return getattr(probe, "wall_clock_limit_s", None)
+
+
+def execute_sweep_points(
+    supervisor: ExperimentSupervisor,
+    name: str,
+    points: Sequence[SweepPoint],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepReport:
+    """Run ``points`` under ``supervisor`` semantics, with optional
+    process-pool fan-out and result-cache short-circuiting.  The report
+    preserves the order of ``points`` regardless of completion order."""
+    jobs = resolve_jobs(jobs)
+    entries: List[Optional[SweepEntry]] = [None] * len(points)
+    pending: List[Tuple[int, SweepPoint, Optional[str]]] = []
+
+    for index, point in enumerate(points):
+        key = None
+        if cache is not None:
+            key = cache.key(
+                point.app, point.scale, point.prefetching, point.resolved_config()
+            )
+            start = timed()
+            cached = cache.load(key)
+            if cached is not None:
+                entries[index] = SweepEntry(
+                    name=point.name,
+                    status=ConfigStatus.PASSED,
+                    attempts=0,
+                    wall_seconds=timed() - start,
+                    result=cached.result,
+                    cache_hit=True,
+                )
+                continue
+        pending.append((index, point, key))
+
+    if jobs == 1 or len(pending) <= 1:
+        for index, point, key in pending:
+            entries[index] = _run_point_serial(supervisor, point, key, cache)
+    else:
+        _run_points_pool(supervisor, pending, entries, jobs, cache)
+
+    report = SweepReport(name=name)
+    report.entries = [entry for entry in entries if entry is not None]
+    if supervisor.verbose:
+        for entry in report.entries:
+            suffix = " [cached]" if entry.cache_hit else ""
+            print(f"  [{entry.status.value}] {entry.name}{suffix}")
+    return report
+
+
+def _run_point_serial(
+    supervisor: ExperimentSupervisor,
+    point: SweepPoint,
+    key: Optional[str],
+    cache: Optional[ResultCache],
+) -> SweepEntry:
+    """One point, in-process, through the supervisor's retry/watchdog
+    path — identical semantics to a hand-written ``run_sweep`` thunk."""
+    entry = supervisor._run_one(
+        point.name, lambda watchdog=None: run_point(point, watchdog=watchdog)
+    )
+    if cache is not None:
+        entry.cache_hit = False
+        if entry.ok and isinstance(entry.result, SimulationResult):
+            cache.store(key, entry.result, entry.wall_seconds)
+    return entry
+
+
+def _run_points_pool(
+    supervisor: ExperimentSupervisor,
+    pending: Sequence[Tuple[int, SweepPoint, Optional[str]]],
+    entries: List[Optional[SweepEntry]],
+    jobs: int,
+    cache: Optional[ResultCache],
+) -> None:
+    """Fan pending points out over a process pool, decode the canonical
+    payloads shipped back, and slot entries by original sweep index."""
+    wall_limit = _watchdog_wall_limit(supervisor)
+    keys = {index: key for index, _, key in pending}
+    names = {index: point.name for index, point, _ in pending}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        futures = [
+            pool.submit(
+                _execute_point_in_worker,
+                (index, point, wall_limit, supervisor.max_attempts),
+            )
+            for index, point, _ in pending
+        ]
+        for position, future in enumerate(futures):
+            try:
+                outcome = future.result()
+            except Exception as exc:  # a worker died (OOM, signal): isolate it  # srclint: ok(swallow-simulation-error)
+                index = pending[position][0]
+                entries[index] = SweepEntry(
+                    name=names[index],
+                    status=ConfigStatus.FAILED,
+                    attempts=1,
+                    wall_seconds=0.0,
+                    error=f"{type(exc).__name__}: {exc}",
+                    cache_hit=False if cache is not None else None,
+                )
+                continue
+            result = (
+                result_from_bytes(outcome.payload)
+                if outcome.payload is not None
+                else None
+            )
+            entry = SweepEntry(
+                name=names[outcome.index],
+                status=ConfigStatus(outcome.status),
+                attempts=outcome.attempts,
+                wall_seconds=outcome.wall_seconds,
+                result=result,
+                error=outcome.error,
+                cache_hit=False if cache is not None else None,
+            )
+            entries[outcome.index] = entry
+            if cache is not None and entry.ok and result is not None:
+                cache.store(keys[outcome.index], result, entry.wall_seconds)
+
+
+# -- sweep-point enumeration for the CLI and benchmarks -----------------------
+
+
+def sweep_points_for(targets: Sequence[str], runner) -> List[SweepPoint]:
+    """Enumerate the unique sweep points the given figure/table targets
+    will request from ``runner``, deduplicated across targets (the
+    cached-SC baseline is shared by Figures 3-6 and Table 2), with the
+    runner's scale and seed/max-events defaults applied so the points'
+    fingerprints match what :meth:`ExperimentRunner.run` computes."""
+    from repro.experiments.figures import FIGURE_VARIANTS, summary_variants
+
+    seen: Dict[Tuple[str, bool, MachineConfig], None] = {}
+    points: List[SweepPoint] = []
+    for target in targets:
+        if target == "table1":
+            continue  # latency probes, not program runs
+        if target == "table2":
+            variants = [("cached-SC", dash_scaled_config(), False)]
+        elif target == "summary":
+            variants = summary_variants()
+        elif target in FIGURE_VARIANTS:
+            variants = FIGURE_VARIANTS[target]()
+        else:
+            raise KeyError(f"unknown sweep target {target!r}")
+        for label, config, prefetching in variants:
+            config = runner.effective_config(config)
+            for app in APP_NAMES:
+                dedupe = (app, prefetching, config)
+                if dedupe in seen:
+                    continue
+                seen[dedupe] = None
+                points.append(
+                    SweepPoint(
+                        name=f"{app}/{label}",
+                        app=app,
+                        scale=runner.scale,
+                        prefetching=prefetching,
+                        config=config,
+                    )
+                )
+    return points

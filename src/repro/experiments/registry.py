@@ -3,14 +3,19 @@
 The figure regenerators share many machine configurations (e.g. the
 cached-SC single-context run is the baseline of Figures 3-6), so runs
 are memoized per (app, scale, prefetching, machine-config) within a
-:class:`ExperimentRunner`.
+:class:`ExperimentRunner`.  On top of the in-memory memo the runner can
+persist runs to a content-addressed on-disk
+:class:`~repro.experiments.resultcache.ResultCache` (``cache_dir=`` /
+``REPRO_CACHE_DIR``) and pre-warm its memo by fanning sweep points out
+over a process pool (``jobs=`` / ``REPRO_JOBS``, see
+:mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.apps.lu import LUConfig, lu_program
 from repro.apps.lu import bench_scale as lu_bench, paper_scale as lu_paper
@@ -24,6 +29,9 @@ from repro.tango import Program
 
 APP_NAMES = ("MP3D", "LU", "PTHOR")
 
+#: Processor count used by the ``smoke`` scale configurations below.
+SMOKE_PROCESSES = 8
+
 _BUILDERS: Dict[str, Callable[..., Program]] = {
     "MP3D": lambda config, prefetching: mp3d_program(config, prefetching=prefetching),
     "LU": lambda config, prefetching: lu_program(config, prefetching=prefetching),
@@ -31,10 +39,29 @@ _BUILDERS: Dict[str, Callable[..., Program]] = {
 }
 
 _SCALES: Dict[str, Dict[str, Callable[[], object]]] = {
-    "MP3D": {"default": MP3DConfig, "paper": mp3d_paper, "bench": mp3d_bench},
-    "LU": {"default": LUConfig, "paper": lu_paper, "bench": lu_bench},
-    "PTHOR": {"default": PTHORConfig, "paper": pthor_paper, "bench": pthor_bench},
+    "MP3D": {
+        "default": MP3DConfig,
+        "paper": mp3d_paper,
+        "bench": mp3d_bench,
+        "smoke": lambda: MP3DConfig(
+            num_particles=200, space_x=5, space_y=8, space_z=3, time_steps=2
+        ),
+    },
+    "LU": {
+        "default": LUConfig,
+        "paper": lu_paper,
+        "bench": lu_bench,
+        "smoke": lambda: LUConfig(n=16),
+    },
+    "PTHOR": {
+        "default": PTHORConfig,
+        "paper": pthor_paper,
+        "bench": pthor_bench,
+        "smoke": lambda: PTHORConfig(num_gates=200, clock_cycles=2),
+    },
 }
+
+SCALE_NAMES = ("bench", "default", "paper", "smoke")
 
 
 def app_config(app: str, scale: str = "default"):
@@ -45,26 +72,10 @@ def app_config(app: str, scale: str = "default"):
         raise KeyError(f"unknown app/scale {app!r}/{scale!r}") from None
 
 
-#: Processor count used by the smoke configurations below.
-SMOKE_PROCESSES = 8
-
-_SMOKE_CONFIGS: Dict[str, Callable[[], object]] = {
-    "MP3D": lambda: MP3DConfig(
-        num_particles=200, space_x=5, space_y=8, space_z=3, time_steps=2
-    ),
-    "LU": lambda: LUConfig(n=16),
-    "PTHOR": lambda: PTHORConfig(num_gates=200, clock_cycles=2),
-}
-
-
 def smoke_program(app: str, prefetching: bool = False) -> Program:
     """A seconds-scale program for CI checks and the fault matrix
     (run with ``SMOKE_PROCESSES`` processors)."""
-    try:
-        config = _SMOKE_CONFIGS[app]()
-    except KeyError:
-        raise KeyError(f"unknown app {app!r}") from None
-    return _BUILDERS[app](config, prefetching)
+    return build_app(app, "smoke", prefetching)
 
 
 def build_app(app: str, scale: str = "default", prefetching: bool = False) -> Program:
@@ -79,7 +90,12 @@ class RunRecord:
 
 
 class ExperimentRunner:
-    """Runs (app, machine-config) pairs with memoization."""
+    """Runs (app, machine-config) pairs with memoization.
+
+    Lookup order: in-memory memo, then (when ``cache_dir`` is set) the
+    content-addressed on-disk result cache, then a real simulation run
+    — which is stored back to both layers.
+    """
 
     def __init__(
         self,
@@ -87,7 +103,12 @@ class ExperimentRunner:
         verbose: bool = False,
         seed: int = 0,
         max_events: Optional[int] = None,
+        cache_dir=None,
+        jobs: Optional[int] = None,
     ) -> None:
+        from repro.experiments.parallel import resolve_jobs
+        from repro.experiments.resultcache import ResultCache, resolve_cache_dir
+
         self.scale = scale
         self.verbose = verbose
         #: Defaults threaded into every config run through this runner
@@ -95,10 +116,31 @@ class ExperimentRunner:
         #: are left alone when these are unset.
         self.seed = seed
         self.max_events = max_events
+        #: Worker processes used by :meth:`prewarm` (1 = serial).
+        self.jobs = resolve_jobs(jobs)
+        cache_root = resolve_cache_dir(cache_dir)
+        #: On-disk result cache, or ``None`` when disabled.
+        self.result_cache = (
+            ResultCache(cache_root) if cache_root is not None else None
+        )
         self._cache: Dict[Tuple, RunRecord] = {}
 
     def _key(self, app: str, prefetching: bool, config: MachineConfig) -> Tuple:
         return (app, self.scale, prefetching, config)
+
+    def effective_config(
+        self, config: Optional[MachineConfig] = None
+    ) -> MachineConfig:
+        """The config a run will actually use: the scaled default when
+        none is given, with the runner's seed/max-events defaults filled
+        into unset fields.  Sweep-point fingerprints are computed over
+        this, so pre-warmed and directly-run points share cache keys."""
+        config = config or dash_scaled_config()
+        if self.seed and not config.seed:
+            config = config.replace(seed=self.seed)
+        if self.max_events is not None and config.max_events is None:
+            config = config.replace(max_events=self.max_events)
+        return config
 
     def run(
         self,
@@ -106,19 +148,25 @@ class ExperimentRunner:
         config: Optional[MachineConfig] = None,
         prefetching: bool = False,
     ) -> SimulationResult:
-        config = config or dash_scaled_config()
-        if self.seed and not config.seed:
-            config = config.replace(seed=self.seed)
-        if self.max_events is not None and config.max_events is None:
-            config = config.replace(max_events=self.max_events)
+        config = self.effective_config(config)
         key = self._key(app, prefetching, config)
         record = self._cache.get(key)
+        if record is None and self.result_cache is not None:
+            fingerprint = self.result_cache.key(app, self.scale, prefetching, config)
+            cached = self.result_cache.load(fingerprint)
+            if cached is not None:
+                record = RunRecord(cached.result, cached.wall_seconds)
+                self._cache[key] = record
+                if self.verbose:
+                    print(f"  [hit] {app} pf={prefetching} <- {fingerprint[:12]}")
         if record is None:
             program = build_app(app, self.scale, prefetching)
             start = time.perf_counter()  # srclint: ok(wall-clock) — harness timing only
             result = run_program(program, config)
             record = RunRecord(result, time.perf_counter() - start)  # srclint: ok(wall-clock)
             self._cache[key] = record
+            if self.result_cache is not None:
+                self.result_cache.store(fingerprint, result, record.wall_seconds)
             if self.verbose:
                 print(
                     f"  [run] {app} pf={prefetching} "
@@ -127,6 +175,46 @@ class ExperimentRunner:
                     f"-> T={result.execution_time} ({record.wall_seconds:.1f}s)"
                 )
         return record.result
+
+    def prime(
+        self,
+        app: str,
+        config: MachineConfig,
+        prefetching: bool,
+        result: SimulationResult,
+        wall_seconds: float = 0.0,
+    ) -> None:
+        """Insert an externally produced result into the in-memory memo
+        (used by :meth:`prewarm` to publish pool-run results)."""
+        key = self._key(app, prefetching, self.effective_config(config))
+        self._cache[key] = RunRecord(result, wall_seconds)
+
+    def prewarm(self, points: Sequence, supervisor=None):
+        """Execute sweep points — in parallel when ``jobs>1``, through
+        the on-disk cache when one is configured — and prime the memo so
+        subsequent :meth:`run` calls for those points are hits.  Returns
+        the :class:`~repro.experiments.supervisor.SweepReport` (per-entry
+        wall time, pass/degraded/fail status, cache hit/miss counters).
+        """
+        from repro.experiments.supervisor import ExperimentSupervisor
+
+        supervisor = supervisor or ExperimentSupervisor(verbose=self.verbose)
+        report = supervisor.run_sweep_points(
+            f"prewarm-{self.scale}",
+            points,
+            jobs=self.jobs,
+            cache=self.result_cache,
+        )
+        for point, entry in zip(points, report.entries):
+            if entry.ok and isinstance(entry.result, SimulationResult):
+                self.prime(
+                    point.app,
+                    point.resolved_config(),
+                    point.prefetching,
+                    entry.result,
+                    entry.wall_seconds,
+                )
+        return report
 
     @property
     def runs_performed(self) -> int:

@@ -51,6 +51,10 @@ class SweepEntry:
     wall_seconds: float
     result: object = None
     error: Optional[str] = None
+    #: ``True``: served from the result cache without running;
+    #: ``False``: ran with a cache configured (a miss); ``None``: no
+    #: cache was in play for this sweep.
+    cache_hit: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -84,16 +88,32 @@ class SweepReport:
         """True when every configuration completed (possibly degraded)."""
         return not self.failed
 
+    @property
+    def cache_hits(self) -> int:
+        """Entries served straight from the result cache."""
+        return sum(1 for e in self.entries if e.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """Entries that ran because the result cache had no entry."""
+        return sum(1 for e in self.entries if e.cache_hit is False)
+
     def results(self) -> List[object]:
         """Results of the configurations that completed, sweep order."""
         return [e.result for e in self.entries if e.ok]
 
     def format(self) -> str:
-        lines = [
+        header = (
             f"sweep {self.name!r}: {len(self.passed)} passed, "
             f"{len(self.degraded)} degraded, {len(self.failed)} failed "
             f"of {len(self.entries)} configurations"
-        ]
+        )
+        if any(e.cache_hit is not None for e in self.entries):
+            header += (
+                f"; cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses"
+            )
+        lines = [header]
         for entry in self.entries:
             line = (
                 f"  [{entry.status.value:^8s}] {entry.name} "
@@ -101,6 +121,8 @@ class SweepReport:
                 f"{'s' if entry.attempts != 1 else ''}, "
                 f"{entry.wall_seconds:.2f}s)"
             )
+            if entry.cache_hit:
+                line += " [cached]"
             if entry.error:
                 first = entry.error.splitlines()[0]
                 line += f" — {first}"
@@ -140,6 +162,28 @@ class ExperimentSupervisor:
             if self.verbose:
                 print(f"  [{report.entries[-1].status.value}] {job_name}")
         return report
+
+    def run_sweep_points(
+        self,
+        name: str,
+        points: Sequence,
+        jobs: Optional[int] = None,
+        cache=None,
+    ) -> SweepReport:
+        """Run declarative :class:`~repro.experiments.parallel.SweepPoint`
+        specs, optionally fanned out over a process pool and short-
+        circuited through a :class:`~repro.experiments.resultcache.ResultCache`.
+
+        ``jobs=1`` (the default, or ``REPRO_JOBS``) runs serially
+        in-process — determinism-by-default and byte-for-byte the same
+        code path as :meth:`run_sweep`.  ``jobs>1`` dispatches cache
+        misses to worker processes while preserving per-entry crash
+        isolation, transient-retry, watchdog wall-clock limits, and the
+        sweep order of the report.
+        """
+        from repro.experiments.parallel import execute_sweep_points
+
+        return execute_sweep_points(self, name, points, jobs=jobs, cache=cache)
 
     def _run_one(self, name: str, job: Callable[..., object]) -> SweepEntry:
         start = time.perf_counter()  # srclint: ok(wall-clock) — harness timing, never enters sim state

@@ -1,0 +1,13 @@
+"""Repo-wide test options."""
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current simulator "
+        "output instead of asserting against it (escape hatch for "
+        "reviewed behaviour changes)",
+    )

@@ -1,0 +1,86 @@
+"""Unit tests for processor time accounting (`TimeBreakdown`)."""
+
+import pytest
+
+from repro.processor.accounting import Bucket, TimeBreakdown
+
+
+def test_starts_empty_with_every_bucket_present():
+    breakdown = TimeBreakdown()
+    assert set(breakdown.cycles) == set(Bucket)
+    assert breakdown.total == 0
+    assert all(breakdown[bucket] == 0 for bucket in Bucket)
+
+
+def test_add_accumulates_per_bucket():
+    breakdown = TimeBreakdown()
+    breakdown.add(Bucket.BUSY, 10)
+    breakdown.add(Bucket.BUSY, 5)
+    breakdown.add(Bucket.READ_STALL, 3)
+    assert breakdown[Bucket.BUSY] == 15
+    assert breakdown[Bucket.READ_STALL] == 3
+    assert breakdown.busy == 15
+    assert breakdown.total == 18
+
+
+def test_add_zero_is_allowed():
+    breakdown = TimeBreakdown()
+    breakdown.add(Bucket.SYNC_STALL, 0)
+    assert breakdown.total == 0
+
+
+def test_negative_time_raises():
+    breakdown = TimeBreakdown()
+    with pytest.raises(ValueError, match="negative time"):
+        breakdown.add(Bucket.WRITE_STALL, -1)
+    assert breakdown.total == 0
+
+
+def test_merged_sums_bucketwise_and_leaves_operands_alone():
+    left = TimeBreakdown()
+    left.add(Bucket.BUSY, 7)
+    left.add(Bucket.SWITCH, 2)
+    right = TimeBreakdown()
+    right.add(Bucket.BUSY, 3)
+    right.add(Bucket.ALL_IDLE, 11)
+    merged = left.merged(right)
+    assert merged[Bucket.BUSY] == 10
+    assert merged[Bucket.SWITCH] == 2
+    assert merged[Bucket.ALL_IDLE] == 11
+    assert merged.total == left.total + right.total
+    # operands untouched
+    assert left[Bucket.BUSY] == 7
+    assert right[Bucket.ALL_IDLE] == 11
+    # and the merge result is independent
+    merged.add(Bucket.BUSY, 1)
+    assert left[Bucket.BUSY] == 7
+
+
+def test_idle_total_covers_exactly_the_blocked_buckets():
+    breakdown = TimeBreakdown()
+    breakdown.add(Bucket.READ_STALL, 1)
+    breakdown.add(Bucket.WRITE_STALL, 2)
+    breakdown.add(Bucket.SYNC_STALL, 4)
+    breakdown.add(Bucket.ALL_IDLE, 8)
+    # non-idle buckets must not leak in
+    breakdown.add(Bucket.BUSY, 100)
+    breakdown.add(Bucket.SWITCH, 200)
+    breakdown.add(Bucket.NO_SWITCH, 400)
+    breakdown.add(Bucket.PREFETCH_OVERHEAD, 800)
+    assert breakdown.idle_total() == 1 + 2 + 4 + 8
+
+
+def test_as_dict_is_complete_and_keyed_by_bucket_value():
+    breakdown = TimeBreakdown()
+    breakdown.add(Bucket.PREFETCH_OVERHEAD, 9)
+    as_dict = breakdown.as_dict()
+    assert set(as_dict) == {bucket.value for bucket in Bucket}
+    assert as_dict["prefetch_overhead"] == 9
+    assert sum(as_dict.values()) == breakdown.total
+
+
+def test_instances_do_not_share_the_default_dict():
+    first = TimeBreakdown()
+    first.add(Bucket.BUSY, 5)
+    second = TimeBreakdown()
+    assert second[Bucket.BUSY] == 0
