@@ -1,0 +1,270 @@
+"""Static memory-layout and prefetch-placement lint.
+
+Two classes of layout hazards distort the paper's headline numbers
+without being functional bugs, so nothing else in the repo catches them:
+
+* **False sharing** — a cache line written by two or more threads whose
+  written address sets within the line are disjoint.  Every write
+  invalidates the other threads' copies even though no data is actually
+  communicated, inflating the invalidation and miss counts the paper's
+  SC/RC comparison rests on.
+* **Malformed prefetch streams** — a prefetch that is *redundant* (the
+  same thread re-prefetches a line whose earlier prefetch has not been
+  consumed yet), falls out of the 16-entry prefetch buffer's *capacity
+  window* (so many later prefetches issue before the line's first use
+  that the entry would have been displaced), or is *never used* at all
+  (pure overhead).
+
+The pass runs the program through the untimed
+:class:`~repro.analysis.executor.LogicalExecutor` (so it sees the real
+op streams under a legal interleaving) and reports
+:class:`~repro.analysis.oplint.LintIssue` findings with the stable
+``source:t<tid>:op#<i>`` locations.  All findings are warnings: they are
+performance hazards, not correctness bugs — ``--strict`` escalates them.
+
+Threads are treated as processors (the machine's default of one context
+per processor); with multiple contexts per processor, co-resident
+threads share a cache and the false-sharing pairs between them are
+pessimistic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.executor import LogicalExecutor, OpListener
+from repro.analysis.oplint import WARNING, LintIssue
+from repro.memlayout import SharedMemoryAllocator
+from repro.tango import ops as O
+
+
+class LayoutLinter(OpListener):
+    """Listener that collects layout/prefetch findings from one run."""
+
+    def __init__(
+        self,
+        line_bytes: int = 16,
+        prefetch_depth: int = 16,
+        source: str = "<ops>",
+    ) -> None:
+        if line_bytes <= 0 or prefetch_depth <= 0:
+            raise ValueError("line_bytes and prefetch_depth must be positive")
+        self.line_bytes = line_bytes
+        self.prefetch_depth = prefetch_depth
+        self.source = source
+        self.issues: List[LintIssue] = []
+        self._allocator: Optional[SharedMemoryAllocator] = None
+        #: line -> tid -> set of written addrs in that line.
+        self._writers: Dict[int, Dict[int, Set[int]]] = {}
+        #: (line, tid) -> op index of the thread's first write to it.
+        self._first_write: Dict[Tuple[int, int], int] = {}
+        #: tid -> line -> (op index, prefetch counter at issue).
+        self._pending: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        #: tid -> prefetches issued so far (window position).
+        self._pf_count: Dict[int, int] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _line_of(self, addr: int) -> int:
+        return addr - (addr % self.line_bytes)
+
+    def _where(self, addr: int) -> str:
+        if self._allocator is not None:
+            region = self._allocator.region_of(addr)
+            if region is not None:
+                return f"{region.name}+{addr - region.base:#x}"
+        return f"{addr:#x}"
+
+    def _warn(self, thread: int, index: int, code: str, message: str) -> None:
+        self.issues.append(
+            LintIssue(WARNING, thread, index, code, message, source=self.source)
+        )
+
+    # -- listener hooks ------------------------------------------------------
+
+    def on_start(
+        self, allocator: SharedMemoryAllocator, num_processes: int
+    ) -> None:
+        self._allocator = allocator
+
+    def on_op(self, thread: int, index: int, op: tuple) -> None:
+        # PREFETCH never reaches the executor's interpreter (it is
+        # timing-only), so it must be caught here.
+        if not isinstance(op, tuple) or not op or op[0] != O.PREFETCH:
+            return
+        if len(op) < 2 or not isinstance(op[1], int) or isinstance(op[1], bool):
+            return  # structurally broken; oplint's territory
+        line = self._line_of(op[1])
+        pending = self._pending.setdefault(thread, {})
+        count = self._pf_count.get(thread, 0)
+        if line in pending:
+            first_index, _ = pending[line]
+            self._warn(
+                thread, index, "redundant-prefetch",
+                f"line {line:#x} ({self._where(op[1])}) re-prefetched "
+                f"before the prefetch at op#{first_index} was consumed",
+            )
+        else:
+            pending[line] = (index, count)
+        self._pf_count[thread] = count + 1
+
+    def _consume(self, thread: int, index: int, addr: int) -> None:
+        pending = self._pending.get(thread)
+        if not pending:
+            return
+        line = self._line_of(addr)
+        entry = pending.pop(line, None)
+        if entry is None:
+            return
+        pf_index, at_issue = entry
+        intervening = self._pf_count.get(thread, 0) - at_issue - 1
+        if intervening >= self.prefetch_depth:
+            self._warn(
+                thread, pf_index, "prefetch-capacity-window",
+                f"{intervening} later prefetches issued before line "
+                f"{line:#x} ({self._where(addr)}) was first used at "
+                f"op#{index}; the {self.prefetch_depth}-entry prefetch "
+                f"buffer displaces the entry before it can be consumed",
+            )
+
+    def on_read(self, thread: int, index: int, addr: int) -> None:
+        self._consume(thread, index, addr)
+
+    def on_write(self, thread: int, index: int, addr: int) -> None:
+        self._consume(thread, index, addr)
+        line = self._line_of(addr)
+        self._writers.setdefault(line, {}).setdefault(thread, set()).add(addr)
+        self._first_write.setdefault((line, thread), index)
+
+    def on_thread_done(self, thread: int) -> None:
+        for line, (pf_index, _) in sorted(
+            self._pending.pop(thread, {}).items()
+        ):
+            self._warn(
+                thread, pf_index, "prefetch-never-used",
+                f"line {line:#x} ({self._where(line)}) prefetched but "
+                f"never read or written by this thread (pure overhead)",
+            )
+
+    def on_finish(self) -> None:
+        for line in sorted(self._writers):
+            by_tid = self._writers[line]
+            if len(by_tid) < 2:
+                continue
+            addr_writers: Dict[int, Set[int]] = {}
+            for tid, addrs in by_tid.items():
+                for addr in addrs:
+                    addr_writers.setdefault(addr, set()).add(tid)
+            if any(len(tids) > 1 for tids in addr_writers.values()):
+                continue  # true sharing: the line carries real communication
+            tids = sorted(by_tid)
+            first_tid = tids[0]
+            sites = ", ".join(
+                f"t{tid}:op#{self._first_write[(line, tid)]}" for tid in tids
+            )
+            self._warn(
+                first_tid, self._first_write[(line, first_tid)],
+                "false-sharing",
+                f"line {line:#x} ({self._where(line)}) is written by "
+                f"threads {tids} at disjoint addresses (first writes: "
+                f"{sites}); every write invalidates the others' copies "
+                f"without communicating data",
+            )
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def warnings(self) -> List[LintIssue]:
+        return [i for i in self.issues if i.severity == WARNING]
+
+    def failures(self, strict: bool = False) -> List[LintIssue]:
+        """Layout findings are warnings; they fail only under --strict."""
+        return list(self.issues) if strict else [
+            i for i in self.issues if i.severity != WARNING
+        ]
+
+    def format_issues(self) -> str:
+        if not self.issues:
+            return "layout lint: clean"
+        lines = [f"layout lint: {len(self.issues)} issue(s):"]
+        lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+#: Known findings per (app, prefetching) for the bundled applications at
+#: the ``smoke`` scale with the registry's 8 processes.  The logical
+#: executor schedules threads deterministically, so these counts are
+#: stable; the CI gate fails on any drift (new findings, or stale
+#: baselines after a layout fix) so changes are always deliberate.
+APP_BASELINE: Dict[Tuple[str, bool], Dict[str, int]] = {
+    ("MP3D", False): {},
+    ("MP3D", True): {
+        "redundant-prefetch": 304,
+        "prefetch-capacity-window": 38,
+        "prefetch-never-used": 132,
+    },
+    ("LU", False): {},
+    ("LU", True): {},
+    ("PTHOR", False): {"false-sharing": 25},
+    ("PTHOR", True): {
+        "false-sharing": 32,
+        "redundant-prefetch": 7,
+        "prefetch-capacity-window": 4,
+        "prefetch-never-used": 28,
+    },
+}
+
+
+def check_app_baselines() -> Tuple[bool, List[str]]:
+    """Lint every bundled app (smoke scale, with and without prefetch)
+    and compare per-code finding counts against :data:`APP_BASELINE`.
+
+    Returns ``(ok, report_lines)``; any drift from the baseline fails.
+    """
+    from repro.experiments.registry import SMOKE_PROCESSES, smoke_program
+
+    ok = True
+    lines: List[str] = []
+    for (app, prefetching), expected in APP_BASELINE.items():
+        issues = lint_layout(
+            smoke_program(app, prefetching=prefetching), SMOKE_PROCESSES
+        )
+        observed: Dict[str, int] = {}
+        for issue in issues:
+            observed[issue.code] = observed.get(issue.code, 0) + 1
+        label = f"{app}+prefetch" if prefetching else app
+        if observed == expected:
+            lines.append(
+                f"  {label}: {sum(observed.values())} known finding(s), none new"
+            )
+        else:
+            ok = False
+            lines.append(f"  {label}: findings drifted from baseline:")
+            for code in sorted(set(observed) | set(expected)):
+                lines.append(
+                    f"    {code}: {observed.get(code, 0)} "
+                    f"(baseline {expected.get(code, 0)})"
+                )
+    return ok, lines
+
+
+def lint_layout(
+    program,
+    num_processes: int,
+    line_bytes: int = 16,
+    prefetch_depth: int = 16,
+    **kwargs,
+) -> List[LintIssue]:
+    """Execute ``program`` logically and lint its memory layout and
+    prefetch placement.  ``line_bytes``/``prefetch_depth`` default to
+    the DASH machine's 16-byte lines and 16-entry prefetch buffer."""
+    linter = LayoutLinter(
+        line_bytes=line_bytes, prefetch_depth=prefetch_depth,
+        source=program.name,
+    )
+    kwargs.setdefault("strict", False)
+    executor = LogicalExecutor(
+        program, num_processes, listeners=[linter], **kwargs
+    )
+    executor.run()
+    return linter.issues

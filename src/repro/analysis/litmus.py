@@ -101,6 +101,10 @@ class LitmusResult:
     model: Consistency
     observed: FrozenSet[Outcome] = frozenset()
     by_schedule: Dict[Tuple[int, ...], Outcome] = field(default_factory=dict)
+    #: Per-schedule axiomatic-oracle failures (``run_litmus`` with
+    #: ``trace_check=True``): conformance violations or a mismatch
+    #: between the axiomatic and operational outcome derivations.
+    conformance_failures: Dict[Tuple[int, ...], str] = field(default_factory=dict)
 
     @property
     def forbidden_seen(self) -> FrozenSet[Outcome]:
@@ -112,7 +116,11 @@ class LitmusResult:
 
     @property
     def ok(self) -> bool:
-        return not self.forbidden_seen and not self.required_missing
+        return (
+            not self.forbidden_seen
+            and not self.required_missing
+            and not self.conformance_failures
+        )
 
     def explain(self) -> str:
         lines = [
@@ -123,6 +131,9 @@ class LitmusResult:
             lines.append(f"  FORBIDDEN outcomes seen: {sorted(self.forbidden_seen)}")
         if self.required_missing:
             lines.append(f"  required outcomes missing: {sorted(self.required_missing)}")
+        for schedule, failure in sorted(self.conformance_failures.items()):
+            lines.append(f"  conformance failure at schedule {schedule}:")
+            lines.extend("    " + line for line in failure.splitlines())
         return "\n".join(lines)
 
 
@@ -186,8 +197,14 @@ def _run_one(
     model: Consistency,
     schedule: Sequence[int],
     config_overrides: Optional[Mapping[str, object]] = None,
-) -> Outcome:
-    """Run one schedule through the machine; return the outcome tuple."""
+    trace_check: bool = False,
+) -> Tuple[Outcome, Optional[str]]:
+    """Run one schedule through the machine.
+
+    Returns the outcome tuple plus, when ``trace_check`` is set, any
+    axiomatic-oracle failure text (``None`` when the trace conforms and
+    its derived outcome matches the operational one).
+    """
     addresses: Dict[str, int] = {}
     program = _build_program(test, schedule, addresses)
     kwargs: Dict[str, object] = dict(
@@ -197,6 +214,8 @@ def _run_one(
     )
     if config_overrides:
         kwargs.update(config_overrides)
+    if trace_check:
+        kwargs["trace_memory_events"] = True
     config = dash_scaled_config(**kwargs)
     machine = Machine(config)
 
@@ -240,13 +259,32 @@ def _run_one(
                 f"MSHR combining in the litmus body)"
             )
         outcome.extend(value_of(addr, when) for addr, when in recorded)
-    return tuple(outcome)
+    observed = tuple(outcome)
+
+    conformance: Optional[str] = None
+    if trace_check:
+        from repro.analysis.tracecheck import check_trace, litmus_read_values
+
+        assert machine.trace is not None
+        report = check_trace(machine.trace, model)
+        derived = litmus_read_values(
+            machine.trace, report, test.num_threads, warmup
+        )
+        if not report.ok:
+            conformance = report.format()
+        elif derived != observed:
+            conformance = (
+                f"axiomatic outcome {derived} != operational outcome "
+                f"{observed}"
+            )
+    return observed, conformance
 
 
 def run_litmus(
     test: LitmusTest,
     model: Consistency,
     config_overrides: Optional[Mapping[str, object]] = None,
+    trace_check: bool = False,
 ) -> LitmusResult:
     """Run ``test`` under ``model`` across all schedules.
 
@@ -254,13 +292,22 @@ def run_litmus(
     over the litmus defaults — used by the edge-case tests to ablate
     e.g. ``write_buffer_bypass`` or install an (empty) fault plan and
     assert the verdicts do not change.
+
+    ``trace_check`` additionally records each schedule's memory-event
+    trace and cross-validates it against the model's axioms (the
+    independent oracle of :mod:`repro.analysis.tracecheck`); failures
+    land in :attr:`LitmusResult.conformance_failures` and make the
+    result not ``ok``.
     """
     result = LitmusResult(test=test, model=model)
     outcomes = {}
     for schedule in test.schedules():
-        outcomes[schedule] = _run_one(
-            test, model, schedule, config_overrides=config_overrides
+        outcomes[schedule], conformance = _run_one(
+            test, model, schedule, config_overrides=config_overrides,
+            trace_check=trace_check,
         )
+        if conformance is not None:
+            result.conformance_failures[tuple(schedule)] = conformance
     result.by_schedule = outcomes
     result.observed = frozenset(outcomes.values())
     return result
@@ -371,11 +418,15 @@ def run_suite(
     models: Sequence[Consistency] = tuple(Consistency),
     tests: Sequence[LitmusTest] = (),
     config_overrides: Optional[Mapping[str, object]] = None,
+    trace_check: bool = False,
 ) -> List[LitmusResult]:
     """Run every (test, model) pair; returns all results."""
     suite = list(tests) or standard_suite()
     return [
-        run_litmus(test, model, config_overrides=config_overrides)
+        run_litmus(
+            test, model, config_overrides=config_overrides,
+            trace_check=trace_check,
+        )
         for test in suite for model in models
     ]
 

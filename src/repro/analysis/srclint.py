@@ -29,7 +29,11 @@ under ``src/repro`` and enforces:
 A finding may be acknowledged in place with a trailing
 ``# srclint: ok(<rule>)`` comment on the offending line (the
 crash-isolation boundary in the experiment supervisor, for example,
-exists to swallow errors).  The lint runs from
+exists to swallow errors).  Acknowledgements that no longer suppress
+anything — the offending code was fixed or moved, the comment stayed —
+are themselves reported as ``dead-ack`` *warnings*, so stale
+suppressions cannot quietly mask a future regression on the same line;
+``--strict`` escalates them to failures.  The lint runs from
 ``repro-1991 check --lint-src`` and CI, and must stay clean on
 ``src/repro``.
 """
@@ -66,6 +70,9 @@ _WALL_CLOCK_ALLOWED = ("faults/watchdog.py",)
 
 _OK_COMMENT = re.compile(r"#\s*srclint:\s*ok(?:\(([a-z-]+)\))?")
 
+ERROR = "error"
+WARNING = "warning"
+
 
 @dataclass(frozen=True)
 class SrcIssue:
@@ -76,9 +83,14 @@ class SrcIssue:
     col: int
     rule: str
     message: str
+    severity: str = ERROR
 
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col} [{self.rule}] {self.message}"
+        tag = f" {self.severity}:" if self.severity != ERROR else ""
+        return (
+            f"{self.path}:{self.line}:{self.col} [{self.rule}]{tag} "
+            f"{self.message}"
+        )
 
 
 class _Visitor(ast.NodeVisitor):
@@ -92,6 +104,8 @@ class _Visitor(ast.NodeVisitor):
         self.module_aliases: Dict[str, str] = {}
         #: names bound by ``from datetime import datetime/date``.
         self.datetime_names: Set[str] = set()
+        #: line numbers whose ack comment suppressed at least one finding.
+        self.used_acks: Set[int] = set()
 
     # -- helpers -----------------------------------------------------------
 
@@ -112,7 +126,10 @@ class _Visitor(ast.NodeVisitor):
         match = _OK_COMMENT.search(self.source_lines[line - 1])
         if match is None:
             return False
-        return match.group(1) is None or match.group(1) == rule
+        if match.group(1) is None or match.group(1) == rule:
+            self.used_acks.add(line)
+            return True
+        return False
 
     def _alias_of(self, node: ast.expr) -> Optional[str]:
         if isinstance(node, ast.Name):
@@ -295,13 +312,51 @@ class _Visitor(ast.NodeVisitor):
 def lint_source(source: str, rel_path: str) -> List[SrcIssue]:
     """Lint one module's source text (``rel_path`` is for reporting and
     the wall-clock allowlist)."""
+    lines = source.splitlines()
     tree = ast.parse(source, filename=rel_path)
-    visitor = _Visitor(rel_path, source.splitlines())
+    visitor = _Visitor(rel_path, lines)
     visitor.visit(tree)
     issues = visitor.issues
     if rel_path.replace("\\", "/").endswith(_WALL_CLOCK_ALLOWED):
         issues = [i for i in issues if i.rule != "wall-clock"]
+    issues.extend(_dead_acks(rel_path, lines, visitor.used_acks))
     return issues
+
+
+def _dead_acks(
+    rel_path: str, lines: Sequence[str], used: Set[int]
+) -> List[SrcIssue]:
+    """Explicit-rule ``srclint: ok(<rule>)`` comments that suppressed
+    nothing.  Rule-less ``srclint: ok`` mentions (e.g. in docstrings
+    describing the mechanism) are not flagged."""
+    issues: List[SrcIssue] = []
+    for lineno, text in enumerate(lines, start=1):
+        if lineno in used:
+            continue
+        match = _OK_COMMENT.search(text)
+        if match is None or match.group(1) is None:
+            continue
+        rule = match.group(1)
+        issues.append(
+            SrcIssue(
+                rel_path, lineno, match.start() + 1, "dead-ack",
+                f"'# srclint: ok({rule})' no longer suppresses any "
+                f"{rule} finding on this line; remove the stale "
+                f"acknowledgement",
+                severity=WARNING,
+            )
+        )
+    return issues
+
+
+def failures(
+    issues: Iterable[SrcIssue], strict: bool = False
+) -> List[SrcIssue]:
+    """The issues that should fail the check: errors always, warnings
+    (currently only ``dead-ack``) under ``--strict``."""
+    return [
+        i for i in issues if strict or i.severity != WARNING
+    ]
 
 
 def lint_path(path: Path, root: Path) -> List[SrcIssue]:

@@ -38,7 +38,12 @@ class WriteEntry:
 class WriteBuffer:
     """FIFO write buffer with a bounded number of in-flight retirements."""
 
-    def __init__(self, depth: int, max_outstanding: int) -> None:
+    def __init__(
+        self,
+        depth: int,
+        max_outstanding: int,
+        on_event: Optional[Callable[[str, WriteEntry], None]] = None,
+    ) -> None:
         if depth <= 0 or max_outstanding <= 0:
             raise ValueError("depth and max_outstanding must be positive")
         self.depth = depth
@@ -49,6 +54,10 @@ class WriteBuffer:
         self._inflight_completions: List[int] = []
         self.enqueued = 0
         self.full_stalls = 0
+        #: Observer invoked as ``on_event("push"|"issue"|"retire", entry)``
+        #: at each buffer transition; used by the memory-event trace
+        #: recorder.  ``None`` (the default) records nothing.
+        self.on_event = on_event
 
     # -- occupancy ---------------------------------------------------------
 
@@ -75,6 +84,8 @@ class WriteBuffer:
             raise OverflowError("write buffer full")
         self._entries.append(entry)
         self.enqueued += 1
+        if self.on_event is not None:
+            self.on_event("push", entry)
 
     def head(self) -> Optional[WriteEntry]:
         return self._entries[0] if self._entries else None
@@ -108,6 +119,8 @@ class WriteBuffer:
 
     def mark_issued(self, entry: WriteEntry) -> None:
         entry.issued = True
+        if self.on_event is not None:
+            self.on_event("issue", entry)
 
     def retire_head(self) -> WriteEntry:
         """Pop the head entry (it must have issued)."""
@@ -116,7 +129,10 @@ class WriteBuffer:
         entry = self._entries[0]
         if not entry.issued:
             raise RuntimeError("retiring an unissued write")
-        return self._entries.popleft()
+        entry = self._entries.popleft()
+        if self.on_event is not None:
+            self.on_event("retire", entry)
+        return entry
 
     # -- ack tracking --------------------------------------------------------
 

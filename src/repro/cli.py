@@ -132,7 +132,13 @@ def _print_summary(runner: ExperimentRunner) -> None:
 
 _CHECKS = (
     "lint", "races", "litmus", "invariants", "faults",
-    "model", "lockorder", "srclint",
+    "model", "lockorder", "srclint", "trace", "layout",
+)
+
+#: Seeded consistency bugs for ``--trace-mutate`` (the tracecheck
+#: analogue of ``--mc-mutate``).
+_TRACE_MUTATIONS = (
+    "drop-inval-ack", "release-overtakes-writes", "forward-unissued-write",
 )
 _CHECK_APPS = ("MP3D", "LU", "PTHOR")
 
@@ -239,6 +245,54 @@ def run_model_check(
     return 0
 
 
+def run_trace_check(
+    app: str,
+    mutation: Optional[str] = None,
+    verbose: bool = False,
+) -> int:
+    """The ``check --trace-check`` entry point.
+
+    With ``mutation`` set, run the mutation's demonstration litmus test
+    with the seeded consistency bug installed and print the witness —
+    the expected (and nonzero-returning) outcome is a detected
+    violation, mirroring ``--mc-mutate``.  Otherwise cross-validate the
+    whole litmus matrix against the axiomatic oracle and trace one
+    smoke run per requested app under RC.  Returns nonzero on any
+    conformance failure."""
+    from repro.analysis.tracecheck import check_app, run_mutation_demo
+
+    if mutation is not None:
+        report = run_mutation_demo(mutation)
+        print(f"[trace] mutation {mutation!r}:")
+        print("  " + report.format().replace("\n", "\n  "))
+        if report.ok:
+            print(f"[trace] mutation {mutation!r} was NOT detected")
+            return 0
+        return 1
+
+    from repro.analysis.litmus import run_suite
+
+    status = 0
+    results = run_suite(trace_check=True)
+    bad = [result for result in results if result.conformance_failures]
+    print(f"[trace] litmus matrix: {len(results)} (test, model) pairs "
+          f"cross-validated, {len(bad)} conformance failure(s)")
+    for result in bad:
+        print(f"  {result.explain()}")
+        status = 1
+    if verbose:
+        for result in results:
+            print(f"  {result.test.name} {result.model.name}: "
+                  f"{len(result.by_schedule)} schedules conform")
+    names = _CHECK_APPS if app == "all" else (app,)
+    for name in names:
+        report = check_app(name)
+        print(f"[trace] {name}: {report.format()}")
+        if not report.ok:
+            status = 1
+    return status
+
+
 def run_check(
     app: str,
     checks: List[str],
@@ -250,10 +304,12 @@ def run_check(
     mc_config: Optional[dict] = None,
     mc_mutation: Optional[str] = None,
     mc_fingerprint: Optional[str] = None,
+    trace_mutation: Optional[str] = None,
 ) -> int:
     """The ``repro check`` subcommand: op-stream lint, race detection,
     litmus consistency checks, a sanitized simulation, and the static
-    passes (protocol model check, lock-order analysis, source lint).
+    passes (protocol model check, lock-order analysis, source lint,
+    axiomatic trace conformance, layout lint).
     Returns a nonzero exit status on lint errors, litmus violations, or
     invariant failures; data races are reported but do not fail the
     check (MP3D's move-phase races are benign and acknowledged by the
@@ -263,7 +319,14 @@ def run_check(
     from repro.analysis.race_detector import RaceDetector
     from repro.sim.engine import SimulationError
 
-    failed = False
+    # Names of sub-checks that failed, in run order.  Each block only
+    # ever *appends* — a later passing check can never mask an earlier
+    # failure — and the final verdict lists the casualties by name.
+    failed: List[str] = []
+
+    def fail(check: str) -> None:
+        if check not in failed:
+            failed.append(check)
 
     if "lint" in checks or "races" in checks:
         for name, program, processes in _check_programs(app):
@@ -282,7 +345,7 @@ def run_check(
             if "lint" in checks:
                 print(f"  {linter.format_issues()}")
                 if linter.failures(strict):
-                    failed = True
+                    fail("lint")
             if "races" in checks:
                 print(f"  {detector.format_reports()}")
                 if verbose:
@@ -298,7 +361,7 @@ def run_check(
               f"{len(bad)} violation(s)")
         for result in bad:
             print(f"  {result.explain()}")
-            failed = True
+            fail("litmus")
         if verbose:
             for result in results:
                 print(f"  {result.test.name} {result.model.name}: "
@@ -319,7 +382,7 @@ def run_check(
                 machine.run()
             except SimulationError as exc:  # srclint: ok(swallow-simulation-error) — reported, fails the check
                 print(f"[invariants] {name}: FAILED\n{exc}")
-                failed = True
+                fail("invariants")
             else:
                 print(f"[invariants] {name}: ok "
                       f"({machine.sanitizer.checks_performed} checks)")
@@ -328,13 +391,13 @@ def run_check(
         if run_fault_matrix(
             app, fault_level, seed=seed, max_events=max_events, verbose=verbose
         ):
-            failed = True
+            fail("faults")
 
     if "model" in checks:
         if run_model_check(
             mc_config, mutation=mc_mutation, fingerprint_path=mc_fingerprint
         ):
-            failed = True
+            fail("model")
 
     if "lockorder" in checks:
         from repro.analysis.lockorder import analyze_apps
@@ -344,18 +407,37 @@ def run_check(
             print(f"[lockorder] {report.format()}")
             bad = report.findings if strict else report.errors
             if bad:
-                failed = True
+                fail("lockorder")
 
     if "srclint" in checks:
-        from repro.analysis.srclint import default_root, format_issues, lint_tree
+        from repro.analysis.srclint import (
+            default_root, failures, format_issues, lint_tree,
+        )
 
         issues = lint_tree()
         print(f"[srclint] {default_root()}: {format_issues(issues)}")
-        if issues:
-            failed = True
+        if failures(issues, strict):
+            fail("srclint")
 
-    print("check: FAILED" if failed else "check: ok")
-    return 1 if failed else 0
+    if "trace" in checks:
+        if run_trace_check(app, mutation=trace_mutation, verbose=verbose):
+            fail("trace")
+
+    if "layout" in checks:
+        from repro.analysis.layoutlint import check_app_baselines
+
+        ok, lines = check_app_baselines()
+        print("[layout] bundled apps vs known-finding baselines:")
+        for line in lines:
+            print(line)
+        if not ok:
+            fail("layout")
+
+    if failed:
+        print(f"check: FAILED ({', '.join(failed)})")
+        return 1
+    print("check: ok")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -373,7 +455,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "summary", "all", "check"],
         help="which artifact to regenerate, or 'check' to run the "
              "analysis suite (lint, races, litmus, invariants, plus the "
-             "static passes: model, lockorder, srclint)",
+             "static passes: model, lockorder, srclint, trace, layout)",
     )
     parser.add_argument(
         "--scale",
@@ -413,7 +495,8 @@ def main(argv: Optional[List[str]] = None) -> int:
              + ",".join(_CHECKS)
              + " (default: lint,races,litmus,invariants; just the "
              "selected checks when --faults, --model-check, "
-             "--lock-order, or --lint-src is given)",
+             "--lock-order, --lint-src, --trace-check, or "
+             "--layout-lint is given)",
     )
     parser.add_argument(
         "--model-check",
@@ -435,7 +518,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="determinism lint over the simulator source itself "
              "(unseeded random, wall-clock reads, unordered-set "
-             "iteration, mutable defaults, swallowed SimulationError)",
+             "iteration, mutable defaults, swallowed SimulationError, "
+             "stale srclint acknowledgements)",
+    )
+    parser.add_argument(
+        "--trace-check",
+        action="store_true",
+        help="axiomatic trace conformance: cross-validate the litmus "
+             "matrix against the declared model's happens-before axioms "
+             "and trace one smoke run per app under RC",
+    )
+    parser.add_argument(
+        "--trace-mutate",
+        choices=list(_TRACE_MUTATIONS),
+        default=None,
+        help="run --trace-check's demo litmus test with a deliberately "
+             "seeded consistency bug installed (each mutation yields a "
+             "printed witness cycle and a nonzero exit)",
+    )
+    parser.add_argument(
+        "--layout-lint",
+        action="store_true",
+        help="static memory-layout lint over the bundled apps: false "
+             "sharing and malformed prefetch streams, compared against "
+             "the known-finding baselines",
     )
     parser.add_argument(
         "--strict",
@@ -509,8 +615,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.what == "check":
         # Dedicated-check flags: any combination of --faults,
-        # --model-check, --lock-order, --lint-src given without --checks
-        # runs exactly those checks.
+        # --model-check, --lock-order, --lint-src, --trace-check,
+        # --layout-lint given without --checks runs exactly those checks.
         selected = []
         if args.faults != "none":
             selected.append("faults")
@@ -520,6 +626,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             selected.append("lockorder")
         if args.lint_src:
             selected.append("srclint")
+        if args.trace_check or args.trace_mutate is not None:
+            selected.append("trace")
+        if args.layout_lint:
+            selected.append("layout")
         if args.checks is not None:
             checks = [c.strip() for c in args.checks.split(",") if c.strip()]
             checks.extend(c for c in selected if c not in checks)
@@ -551,6 +661,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             mc_config=mc_config,
             mc_mutation=args.mc_mutate,
             mc_fingerprint=args.mc_fingerprint,
+            trace_mutation=args.trace_mutate,
         )
 
     runner = ExperimentRunner(

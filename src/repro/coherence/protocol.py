@@ -150,6 +150,9 @@ class CoherenceProtocol:
         self.net = interconnect
         self.stats = ProtocolStats()
         self._line_bytes = config.line_bytes
+        #: Memory-event trace recorder; installed by the machine when
+        #: ``MachineConfig.trace_memory_events`` is set, else ``None``.
+        self.trace = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -341,14 +344,19 @@ class CoherenceProtocol:
                 caches.primary.insert(line, LineState.SHARED)
             retire = time + lat.write_owned_secondary
             self.stats.count_write(AccessClass.SECONDARY_HIT)
-            return AccessOutcome(retire, retire, AccessClass.SECONDARY_HIT)
-
-        outcome = self._acquire_ownership(
-            node, line, time, had_shared=state, background=background
-        )
-        self.stats.count_write(outcome.access_class)
-        if caches.primary.probe(line) != LineState.INVALID:
-            caches.primary.insert(line, LineState.SHARED)
+            outcome = AccessOutcome(retire, retire, AccessClass.SECONDARY_HIT)
+        else:
+            outcome = self._acquire_ownership(
+                node, line, time, had_shared=state, background=background
+            )
+            self.stats.count_write(outcome.access_class)
+            if caches.primary.probe(line) != LineState.INVALID:
+                caches.primary.insert(line, LineState.SHARED)
+        if self.trace is not None:
+            self.trace.record_write(
+                node, addr, time, outcome.retire, outcome.complete,
+                outcome.access_class.value,
+            )
         return outcome
 
     def _acquire_ownership(
@@ -506,7 +514,13 @@ class CoherenceProtocol:
             access_class = AccessClass.UNCACHED_REMOTE
         retire = time + base + delay
         self.stats.count_write(access_class)
-        return AccessOutcome(retire, retire, access_class)
+        outcome = AccessOutcome(retire, retire, access_class)
+        if self.trace is not None:
+            self.trace.record_write(
+                node, addr, time, outcome.retire, outcome.complete,
+                access_class.value,
+            )
+        return outcome
 
     # -- invariants (used by tests) --------------------------------------------
 

@@ -193,6 +193,14 @@ class MachineConfig:
     #: in simulation speed.
     sanitize: bool = False
 
+    #: Record an append-only per-run memory-event trace (reads, writes,
+    #: acquires, releases with issue/perform/complete times) for the
+    #: offline axiomatic conformance checker
+    #: (``repro.analysis.tracecheck``).  Off by default: with the flag
+    #: off no recorder is installed anywhere, so default runs are
+    #: bit-identical to builds without the tracing subsystem.
+    trace_memory_events: bool = False
+
     #: Master seed for the run: mixed into the fault plan's random
     #: stream so ``--seed`` reproduces an injection schedule exactly.
     #: The simulator itself is deterministic with or without it.

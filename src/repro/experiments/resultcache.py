@@ -287,6 +287,6 @@ def resolve_cache_dir(cache_dir: Optional[Union[str, Path]]) -> Optional[Path]:
     return Path(cache_dir) if cache_dir is not None else None
 
 
-def timed(clock=time.perf_counter):  # srclint: ok(wall-clock) — harness timing only
+def timed(clock=time.perf_counter):
     """Harness wall-clock sampler (never enters simulated state)."""
     return clock()

@@ -56,6 +56,10 @@ class Processor:
         self.flags = flags
         self.barriers = barriers
 
+        #: Memory-event trace recorder; installed by the machine when
+        #: ``MachineConfig.trace_memory_events`` is set, else ``None``.
+        self.trace = None
+
         self.contexts: List[Context] = []
         self.time = 0
         self.breakdown = TimeBreakdown()
@@ -251,6 +255,8 @@ class Processor:
 
     def _op_read(self, ctx: Context, addr: int) -> None:
         self.shared_reads += 1
+        if self.trace is not None:
+            self.trace.begin_op(ctx.process_id, ctx.ops_executed - 1)
         result = self.memiface.read(addr, self.time)
         if result.combined_with_prefetch:
             self.prefetch_partial_hits += 1
@@ -259,6 +265,8 @@ class Processor:
 
     def _op_write(self, ctx: Context, addr: int) -> None:
         self.shared_writes += 1
+        if self.trace is not None:
+            self.trace.begin_op(ctx.process_id, ctx.ops_executed - 1)
         result = self.memiface.write(addr, self.time)
         self._advance(1, Bucket.BUSY)
         self._stall_or_switch(ctx, result.proceed, Bucket.WRITE_STALL)
@@ -282,9 +290,20 @@ class Processor:
     def _op_lock(self, ctx: Context, addr: int) -> None:
         self.lock_ops += 1
         self._acquire_fence(ctx)
-        grant = self.locks.acquire(addr, self.node_id, self.time, self._granter(ctx))
+        on_grant = self._granter(ctx)
+        event = None
+        if self.trace is not None:
+            event = self.trace.record_acquire(
+                ctx.process_id, ctx.ops_executed - 1, self.node_id, addr,
+                self.time, sync="lock",
+            )
+            on_grant = self.trace.wrap_grant(event, on_grant)
+        grant = self.locks.acquire(addr, self.node_id, self.time, on_grant)
         self._advance(1, Bucket.BUSY)
         if grant is not None:
+            if event is not None:
+                event.perform = grant
+                event.complete = grant
             self._stall_or_switch(ctx, grant, Bucket.SYNC_STALL)
         else:
             ctx.block_on_sync(self.time)
@@ -292,6 +311,11 @@ class Processor:
     def _op_unlock(self, ctx: Context, addr: int) -> None:
         fence = max(self.memiface.release_point(self.time), self.time)
         visible = self.locks.release(addr, self.node_id, fence)
+        if self.trace is not None:
+            self.trace.record_release(
+                ctx.process_id, ctx.ops_executed - 1, self.node_id, addr,
+                self.time, fence=fence, perform=visible, sync="lock",
+            )
         self._advance(1, Bucket.BUSY)
         if self.policy.write_stalls_processor:
             self._stall_or_switch(ctx, visible, Bucket.SYNC_STALL)
@@ -299,9 +323,20 @@ class Processor:
     def _op_flag_wait(self, ctx: Context, addr: int) -> None:
         self.flag_waits += 1
         self._acquire_fence(ctx)
-        grant = self.flags.wait(addr, self.node_id, self.time, self._granter(ctx))
+        on_grant = self._granter(ctx)
+        event = None
+        if self.trace is not None:
+            event = self.trace.record_acquire(
+                ctx.process_id, ctx.ops_executed - 1, self.node_id, addr,
+                self.time, sync="flag",
+            )
+            on_grant = self.trace.wrap_grant(event, on_grant)
+        grant = self.flags.wait(addr, self.node_id, self.time, on_grant)
         self._advance(1, Bucket.BUSY)
         if grant is not None:
+            if event is not None:
+                event.perform = grant
+                event.complete = grant
             self._stall_or_switch(ctx, grant, Bucket.SYNC_STALL)
         else:
             ctx.block_on_sync(self.time)
@@ -309,6 +344,11 @@ class Processor:
     def _op_flag_set(self, ctx: Context, addr: int) -> None:
         fence = max(self.memiface.release_point(self.time), self.time)
         visible = self.flags.set(addr, self.node_id, fence)
+        if self.trace is not None:
+            self.trace.record_release(
+                ctx.process_id, ctx.ops_executed - 1, self.node_id, addr,
+                self.time, fence=fence, perform=visible, sync="flag",
+            )
         self._advance(1, Bucket.BUSY)
         if self.policy.write_stalls_processor:
             self._stall_or_switch(ctx, visible, Bucket.SYNC_STALL)
@@ -317,8 +357,20 @@ class Processor:
         self.barrier_crossings += 1
         self._acquire_fence(ctx)
         fence = max(self.memiface.release_point(self.time), self.time)
+        on_grant = self._granter(ctx)
+        if self.trace is not None:
+            self.trace.record_release(
+                ctx.process_id, ctx.ops_executed - 1, self.node_id, addr,
+                self.time, fence=fence, perform=fence, sync="barrier",
+                participants=participants,
+            )
+            event = self.trace.record_acquire(
+                ctx.process_id, ctx.ops_executed - 1, self.node_id, addr,
+                self.time, sync="barrier", participants=participants,
+            )
+            on_grant = self.trace.wrap_grant(event, on_grant)
         self.barriers.arrive(
-            addr, participants, self.node_id, fence, self._granter(ctx)
+            addr, participants, self.node_id, fence, on_grant
         )
         self._advance(1, Bucket.BUSY)
         ctx.block_on_sync(self.time)

@@ -116,6 +116,22 @@ class Machine:
                 self, config.fault_plan, seed_mix=config.seed
             ).install()
 
+        # Memory-event trace recorder (off by default): with the flag
+        # off every hook site keeps ``trace is None`` and no recording
+        # code runs, so default runs stay bit-identical.
+        self.trace = None
+        if config.trace_memory_events:
+            from repro.analysis.tracecheck import MemoryEventTrace
+
+            self.trace = MemoryEventTrace(
+                line_bytes=config.line_bytes, allocator=self.allocator
+            )
+            self.protocol.trace = self.trace
+            for iface in self.memifaces:
+                iface.trace = self.trace
+            for processor in self.processors:
+                processor.trace = self.trace
+
     # -- loading --------------------------------------------------------------
 
     def load(self, program: Program) -> None:

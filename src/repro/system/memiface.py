@@ -66,6 +66,9 @@ class NodeMemoryInterface:
         self.protocol = protocol
         self.engine = engine
         self.mshr = MSHRTable()
+        #: Memory-event trace recorder; installed by the machine when
+        #: ``MachineConfig.trace_memory_events`` is set, else ``None``.
+        self.trace = None
 
         # Write buffer (eager drain): retire times of entries still
         # occupying the buffer, newest last; values are monotone.
@@ -131,6 +134,11 @@ class NodeMemoryInterface:
             if miss.is_prefetch:
                 self.demand_combined_with_prefetch += 1
             ready = max(now + 1, miss.complete_time)
+            if self.trace is not None:
+                self.trace.record_read(
+                    self.node, addr, now, ready, source="combine",
+                    access_class=AccessClass.SECONDARY_HIT.value,
+                )
             return ReadResult(ready, AccessClass.SECONDARY_HIT, miss.is_prefetch)
 
         if (
@@ -141,10 +149,21 @@ class NodeMemoryInterface:
             # Same-line forward out of the write buffer: free.
             self.store_forwards += 1
             lat = self.config.latency.read_primary_hit
+            if self.trace is not None:
+                self.trace.record_read(
+                    self.node, addr, now, now + lat, source="forward",
+                    access_class=AccessClass.PRIMARY_HIT.value,
+                    rf_eid=self.trace.buffered_writer(self.node, line),
+                )
             return ReadResult(now + lat, AccessClass.PRIMARY_HIT, False)
 
         if not self.config.caching_shared_data:
             outcome = self.protocol.read_uncached(self.node, addr, now)
+            if self.trace is not None:
+                self.trace.record_read(
+                    self.node, addr, now, outcome.retire, source="uncached",
+                    access_class=outcome.access_class.value,
+                )
             return ReadResult(outcome.retire, outcome.access_class, False)
 
         outcome = self.protocol.read(self.node, addr, now)
@@ -160,6 +179,11 @@ class NodeMemoryInterface:
                     complete_time=outcome.retire,
                     is_prefetch=False,
                 )
+            )
+        if self.trace is not None:
+            self.trace.record_read(
+                self.node, addr, now, outcome.retire, source="memory",
+                access_class=outcome.access_class.value,
             )
         return ReadResult(outcome.retire, outcome.access_class, False)
 
@@ -209,7 +233,12 @@ class NodeMemoryInterface:
         complete = max(outcome.complete, retire)
         if complete > now:
             self._wb_completions.append(complete)
-        self._wb_lines[self.protocol.line_of(addr)] = retire
+        line = self.protocol.line_of(addr)
+        self._wb_lines[line] = retire
+        if self.trace is not None:
+            # The write just recorded by the protocol hook is now the
+            # buffered entry same-line reads would forward from.
+            self.trace.note_buffered_line(self.node, line)
         return WriteResult(now + 1, full_stall, outcome.access_class)
 
     # -- releases -------------------------------------------------------------

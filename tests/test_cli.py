@@ -134,3 +134,60 @@ def test_strict_flag_accepted_with_lint(capsys):
     status = main(["check", "--app", "LU", "--checks", "lint", "--strict"])
     assert status == 0
     assert "check: ok" in capsys.readouterr().out
+
+
+# -- trace conformance and layout lint ----------------------------------------
+
+
+def test_trace_mutate_choices_match_tracecheck():
+    from repro.analysis.tracecheck import MUTATION_NAMES
+    from repro.cli import _TRACE_MUTATIONS
+
+    assert _TRACE_MUTATIONS == MUTATION_NAMES
+
+
+def test_trace_mutate_prints_witness_and_fails(capsys):
+    status = main(["check", "--trace-mutate", "drop-inval-ack"])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "[trace] mutation 'drop-inval-ack'" in out
+    assert "witness cycle" in out
+    assert "check: FAILED (trace)" in out
+
+
+def test_layout_lint_flag_matches_baselines(capsys):
+    status = main(["check", "--layout-lint"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "[layout]" in out
+    assert "PTHOR: 25 known finding(s), none new" in out
+    assert "[litmus]" not in out  # dedicated flag runs only its check
+    assert "check: ok" in out
+
+
+# -- exit-code aggregation ----------------------------------------------------
+
+
+def test_failing_check_not_masked_by_later_passing_one(capsys):
+    # The trace check fails (seeded mutation) before the layout check
+    # passes; the combined invocation must still exit nonzero and name
+    # the casualty.
+    status = main(
+        ["check", "--lint-src", "--trace-mutate", "drop-inval-ack",
+         "--layout-lint"]
+    )
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "src lint: clean" in out          # srclint passed...
+    assert "none new" in out                 # ...and so did layout,
+    assert "check: FAILED (trace)" in out    # yet the verdict is red.
+
+
+def test_verdict_names_every_failing_check(capsys):
+    status = main(
+        ["check", "--app", "LU", "--checks", "invariants,srclint",
+         "--max-events", "100"]
+    )
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "check: FAILED (invariants)" in out

@@ -1,0 +1,243 @@
+"""Tests for the memory-layout / prefetch-placement lint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.layoutlint import (
+    APP_BASELINE,
+    LayoutLinter,
+    check_app_baselines,
+    lint_layout,
+)
+from repro.analysis.oplint import WARNING
+from repro.tango import Program
+from repro.tango import ops as O
+
+
+def _program(thread_bodies, shared=("data", 256)):
+    name, size = shared
+
+    def setup(allocator, num_processes):
+        return allocator.alloc_round_robin(name, size)
+
+    def factory(region, env):
+        def thread():
+            for op in thread_bodies[env.process_id](region):
+                yield op
+
+        return thread()
+
+    return Program("layout-test", setup, factory)
+
+
+def _codes(thread_bodies, **kwargs):
+    issues = lint_layout(_program(thread_bodies), len(thread_bodies), **kwargs)
+    return [issue.code for issue in issues]
+
+
+class TestFalseSharing:
+    def test_disjoint_writes_in_one_line_flagged(self):
+        bodies = [
+            lambda r: [O.write(r.addr(0))],
+            lambda r: [O.write(r.addr(4))],
+        ]
+        issues = lint_layout(_program(bodies), 2)
+        assert [i.code for i in issues] == ["false-sharing"]
+        assert issues[0].severity == WARNING
+        # Both threads' first write sites appear in the witness.
+        assert "t0:op#0" in issues[0].message
+        assert "t1:op#0" in issues[0].message
+
+    def test_true_sharing_not_flagged(self):
+        # Both threads write the same address: real communication.
+        bodies = [
+            lambda r: [O.write(r.addr(0))],
+            lambda r: [O.write(r.addr(0)), O.write(r.addr(4))],
+        ]
+        assert _codes(bodies) == []
+
+    def test_single_writer_line_not_flagged(self):
+        bodies = [
+            lambda r: [O.write(r.addr(0)), O.write(r.addr(4))],
+            lambda r: [O.write(r.addr(16))],
+        ]
+        assert _codes(bodies) == []
+
+    def test_disjoint_writes_in_different_lines_not_flagged(self):
+        bodies = [
+            lambda r: [O.write(r.addr(0))],
+            lambda r: [O.write(r.addr(16))],
+        ]
+        assert _codes(bodies) == []
+
+    def test_reader_does_not_create_false_sharing(self):
+        # False sharing is defined over write sets only.
+        bodies = [
+            lambda r: [O.write(r.addr(0))],
+            lambda r: [O.read(r.addr(4))],
+        ]
+        assert _codes(bodies) == []
+
+    def test_three_threads_one_line(self):
+        bodies = [
+            lambda r: [O.write(r.addr(0))],
+            lambda r: [O.write(r.addr(4))],
+            lambda r: [O.write(r.addr(8))],
+        ]
+        issues = lint_layout(_program(bodies), 3)
+        assert len(issues) == 1
+        assert "[0, 1, 2]" in issues[0].message
+
+    def test_respects_line_bytes(self):
+        bodies = [
+            lambda r: [O.write(r.addr(0))],
+            lambda r: [O.write(r.addr(20))],
+        ]
+        assert _codes(bodies, line_bytes=16) == []
+        assert _codes(bodies, line_bytes=32) == ["false-sharing"]
+
+
+class TestPrefetchLint:
+    def test_consumed_prefetch_is_clean(self):
+        bodies = [lambda r: [O.prefetch(r.addr(0)), O.read(r.addr(0))]]
+        assert _codes(bodies) == []
+
+    def test_consumption_is_line_granular(self):
+        bodies = [lambda r: [O.prefetch(r.addr(0)), O.read(r.addr(12))]]
+        assert _codes(bodies) == []
+
+    def test_write_consumes_exclusive_prefetch(self):
+        bodies = [
+            lambda r: [O.prefetch(r.addr(0), exclusive=True), O.write(r.addr(0))]
+        ]
+        assert _codes(bodies) == []
+
+    def test_redundant_prefetch(self):
+        bodies = [
+            lambda r: [
+                O.prefetch(r.addr(0)),
+                O.prefetch(r.addr(4)),  # same line, not yet consumed
+                O.read(r.addr(0)),
+            ]
+        ]
+        issues = lint_layout(_program(bodies), 1)
+        assert [i.code for i in issues] == ["redundant-prefetch"]
+        assert issues[0].op_index == 1
+        assert "op#0" in issues[0].message
+
+    def test_reprefetch_after_use_is_clean(self):
+        bodies = [
+            lambda r: [
+                O.prefetch(r.addr(0)),
+                O.read(r.addr(0)),
+                O.prefetch(r.addr(0)),
+                O.read(r.addr(0)),
+            ]
+        ]
+        assert _codes(bodies) == []
+
+    def test_never_used_prefetch(self):
+        bodies = [lambda r: [O.prefetch(r.addr(0)), O.read(r.addr(16))]]
+        issues = lint_layout(_program(bodies), 1)
+        assert [i.code for i in issues] == ["prefetch-never-used"]
+        assert issues[0].op_index == 0
+
+    def test_capacity_window_exceeded(self):
+        def body(r):
+            ops = [O.prefetch(r.addr(0))]
+            # 16 more prefetches displace the first from a 16-entry buffer.
+            ops += [O.prefetch(r.addr(16 * (i + 1))) for i in range(16)]
+            ops += [O.read(r.addr(16 * i)) for i in range(17)]
+            return ops
+
+        issues = lint_layout(_program([body], shared=("data", 512)), 1)
+        assert [i.code for i in issues] == ["prefetch-capacity-window"]
+        assert issues[0].op_index == 0  # blames the displaced prefetch
+        assert "16 later prefetches" in issues[0].message
+
+    def test_capacity_window_boundary_ok(self):
+        def body(r):
+            ops = [O.prefetch(r.addr(0))]
+            ops += [O.prefetch(r.addr(16 * (i + 1))) for i in range(15)]
+            ops += [O.read(r.addr(16 * i)) for i in range(16)]
+            return ops
+
+        assert not lint_layout(_program([body], shared=("data", 512)), 1)
+
+    def test_custom_depth(self):
+        def body(r):
+            return [
+                O.prefetch(r.addr(0)),
+                O.prefetch(r.addr(16)),
+                O.prefetch(r.addr(32)),
+                O.read(r.addr(0)),
+                O.read(r.addr(16)),
+                O.read(r.addr(32)),
+            ]
+
+        assert [
+            i.code for i in lint_layout(_program([body]), 1, prefetch_depth=2)
+        ] == ["prefetch-capacity-window"]
+        assert not lint_layout(_program([body]), 1, prefetch_depth=3)
+
+    def test_windows_are_per_thread(self):
+        # Another thread's (clean) prefetch stream does not displace this
+        # thread's pending entry, even though its ops interleave.
+        def busy_prefetcher(r):
+            ops = []
+            for i in range(20):
+                ops.append(O.prefetch(r.addr(16 * ((i % 4) + 4))))
+                ops.append(O.read(r.addr(16 * ((i % 4) + 4))))
+            return ops
+
+        bodies = [
+            lambda r: [O.prefetch(r.addr(0)), O.busy(1), O.read(r.addr(0))],
+            busy_prefetcher,
+        ]
+        issues = lint_layout(_program(bodies, shared=("data", 512)), 2)
+        assert [i.code for i in issues] == []
+
+
+class TestReporting:
+    def test_location_format(self):
+        bodies = [lambda r: [O.prefetch(r.addr(0))]]
+        issues = lint_layout(_program(bodies), 1)
+        assert issues[0].location == "layout-test:t0:op#0"
+
+    def test_region_name_in_message(self):
+        bodies = [lambda r: [O.prefetch(r.addr(0))]]
+        issues = lint_layout(_program(bodies), 1)
+        assert "data+" in issues[0].message
+
+    def test_failures_escalate_only_under_strict(self):
+        linter = LayoutLinter()
+        linter._warn(0, 0, "false-sharing", "x")
+        assert linter.failures() == []
+        assert len(linter.failures(strict=True)) == 1
+
+    def test_format_issues(self):
+        linter = LayoutLinter()
+        assert linter.format_issues() == "layout lint: clean"
+        linter._warn(0, 0, "false-sharing", "x")
+        assert "1 issue(s)" in linter.format_issues()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LayoutLinter(line_bytes=0)
+        with pytest.raises(ValueError):
+            LayoutLinter(prefetch_depth=0)
+
+
+class TestAppBaselines:
+    def test_plain_lu_and_mp3d_are_clean(self):
+        assert APP_BASELINE[("LU", False)] == {}
+        assert APP_BASELINE[("MP3D", False)] == {}
+
+    def test_pthor_false_sharing_is_known(self):
+        assert APP_BASELINE[("PTHOR", False)] == {"false-sharing": 25}
+
+    def test_bundled_apps_match_baseline(self):
+        ok, lines = check_app_baselines()
+        assert ok, "\n".join(lines)
+        assert len(lines) == len(APP_BASELINE)

@@ -54,6 +54,7 @@ FIELD_ALTERNATIVES = {
     "consistency": [Consistency.PC, Consistency.WC, Consistency.RC],
     "caching_shared_data": [False],
     "sanitize": [True],
+    "trace_memory_events": [True],
     "seed": [1, 7, 123456789],
     "max_events": [1_000, 2_000_000],
     "fault_plan": [

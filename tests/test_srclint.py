@@ -3,7 +3,9 @@
 import textwrap
 
 from repro.analysis.srclint import (
+    WARNING,
     default_root,
+    failures,
     format_issues,
     lint_source,
     lint_tree,
@@ -205,10 +207,49 @@ class TestSuppression:
         """) == []
 
     def test_wrong_rule_does_not_suppress(self):
+        # The mismatched ack also suppresses nothing, so it is dead.
         assert _rules("""
             import time
             t = time.time()  # srclint: ok(mutable-default)
-        """) == ["wall-clock"]
+        """) == ["wall-clock", "dead-ack"]
+
+
+class TestDeadAcks:
+    def test_unused_explicit_ack_is_warned(self):
+        issues = lint_source(
+            "x = 1  # srclint: ok(wall-clock)\n", "repro/example.py"
+        )
+        assert [i.rule for i in issues] == ["dead-ack"]
+        assert issues[0].severity == WARNING
+        assert issues[0].line == 1
+        assert "ok(wall-clock)" in issues[0].message
+        assert "warning:" in str(issues[0])
+
+    def test_used_ack_is_not_warned(self):
+        assert _rules("""
+            import time
+            t = time.time()  # srclint: ok(wall-clock)
+        """) == []
+
+    def test_rule_less_mention_is_not_flagged(self):
+        # Docstrings describing the mechanism say ``# srclint: ok`` with
+        # no rule; those are not acknowledgements of anything specific.
+        assert _rules('''
+            def helper():
+                """Suppress with a trailing # srclint: ok comment."""
+        ''') == []
+
+    def test_dead_acks_fail_only_under_strict(self):
+        issues = lint_source(
+            "x = 1  # srclint: ok(set-iteration)\n", "repro/example.py"
+        )
+        assert failures(issues) == []
+        assert [i.rule for i in failures(issues, strict=True)] == ["dead-ack"]
+
+    def test_errors_fail_regardless_of_strict(self):
+        issues = lint_source("import time\nt = time.time()\n", "x.py")
+        assert [i.rule for i in failures(issues)] == ["wall-clock"]
+        assert [i.rule for i in failures(issues, strict=True)] == ["wall-clock"]
 
 
 class TestTree:
