@@ -1,0 +1,78 @@
+"""Smoke-scale performance baseline.
+
+Runs each application at the ``smoke`` workload scale (the same
+seconds-scale configurations ``repro-1991 check`` uses) and records
+per-app wall time and simulator throughput to ``BENCH_smoke.json`` at
+the repository root.  The committed file is the measured trajectory
+later PRs compare against when touching hot paths; CI regenerates it
+and uploads the fresh copy as an artifact.
+
+Unlike the figure/table benchmarks in this directory, this is a plain
+script (``python benchmarks/bench_smoke.py``), not a pytest-benchmark
+target: it measures the simulator engine itself, not a reproduction
+claim, and must stay runnable in a bare CI step with no plugins.
+
+Simulated quantities (events, pclocks) are deterministic; only the
+wall-clock fields vary between hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import dash_scaled_config  # noqa: E402
+from repro.experiments.registry import (  # noqa: E402
+    APP_NAMES,
+    SMOKE_PROCESSES,
+    smoke_program,
+)
+from repro.system import run_program  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_smoke.json"
+
+
+def run_smoke_benchmarks() -> dict:
+    config = dash_scaled_config(num_processors=SMOKE_PROCESSES)
+    apps = {}
+    for app in APP_NAMES:
+        program = smoke_program(app)
+        start = time.perf_counter()
+        result = run_program(program, config)
+        wall = time.perf_counter() - start
+        apps[app] = {
+            "wall_seconds": round(wall, 3),
+            "events": result.events_processed,
+            "events_per_sec": round(result.events_processed / wall) if wall else 0,
+            "execution_time_pclocks": result.execution_time,
+        }
+        print(
+            f"  {app:6s} {wall:6.2f}s wall, "
+            f"{result.events_processed:>9,} events "
+            f"({apps[app]['events_per_sec']:>9,}/s), "
+            f"T={result.execution_time:,} pclocks"
+        )
+    return {
+        "scale": "smoke",
+        "processors": SMOKE_PROCESSES,
+        "python": platform.python_version(),
+        "apps": apps,
+    }
+
+
+def main() -> int:
+    print(f"smoke benchmark ({SMOKE_PROCESSES} processors):")
+    payload = run_smoke_benchmarks()
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,8 +19,11 @@ simulation core unless ``MachineConfig(sanitize=True)`` is set or the
   counterexample traces;
 * :mod:`repro.analysis.lockorder` — static lock-order deadlock analyzer
   and barrier-participation checker over Tango programs;
-* :mod:`repro.analysis.srclint` — AST determinism lint over the
-  simulator source itself;
+* :mod:`repro.analysis.srclint` — AST determinism + hot-path lint over
+  the simulator source itself;
+* :mod:`repro.analysis.protolint` — static completeness / determinism /
+  liveness / stutter analysis of the declarative protocol transition
+  table, cross-checked against the model checker's reachable states;
 * :mod:`repro.analysis.litmus` — consistency litmus tests through the
   full machine (imported directly, not re-exported here: it depends on
   :mod:`repro.system`, which may itself import this package).
@@ -51,6 +54,14 @@ from repro.analysis.modelcheck import (
     Violation,
     check_protocol,
     format_counterexample,
+    reachable_fingerprint,
+)
+from repro.analysis.protolint import (
+    PROTO_MUTATIONS,
+    ProtoFinding,
+    ProtoLintResult,
+    lint_table,
+    mutated_table,
 )
 from repro.analysis.oplint import (
     LintIssue,
@@ -85,6 +96,9 @@ __all__ = [
     "ModelConfig",
     "OpLinter",
     "OpListener",
+    "PROTO_MUTATIONS",
+    "ProtoFinding",
+    "ProtoLintResult",
     "ProtocolModel",
     "RaceDetector",
     "RaceReport",
@@ -103,5 +117,8 @@ __all__ = [
     "lint_ops",
     "lint_path",
     "lint_program",
+    "lint_table",
     "lint_tree",
+    "mutated_table",
+    "reachable_fingerprint",
 ]

@@ -95,6 +95,17 @@ MUTATIONS = (
 )
 
 
+def reachable_fingerprint(states) -> str:
+    """Stable digest of a reachable-state set (canonical renderings,
+    sorted).  Shared by the model checker and protolint's liveness pass
+    so "the two analyses agree" is checkable as string equality."""
+    digest = hashlib.sha256()
+    for rendered in sorted(repr(state) for state in states):
+        digest.update(rendered.encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
 class Message(NamedTuple):
     """One in-flight request, directory-bound."""
 
@@ -767,11 +778,7 @@ class ModelChecker:
 
     @staticmethod
     def _fingerprint(parent: Dict[State, object]) -> str:
-        digest = hashlib.sha256()
-        for rendered in sorted(repr(state) for state in parent):
-            digest.update(rendered.encode())
-            digest.update(b"\n")
-        return digest.hexdigest()
+        return reachable_fingerprint(parent)
 
 
 def check_protocol(

@@ -26,6 +26,21 @@ under ``src/repro`` and enforces:
   ``Exception``, or bare) must contain a ``raise``: invariant
   violations must never be silently dropped by event callbacks.
 
+Two further rules guard the *hot path* (performance, not determinism —
+the simulator allocates one object per event and per cache line, so
+accidental dicts and per-iteration containers dominate profiles):
+
+* ``missing-slots`` — classes under ``sim/``, ``caches/``, and
+  ``coherence/`` (the per-event / per-line instance factories) must
+  declare ``__slots__``.  Enums, NamedTuples, and exception classes are
+  exempt (they are not bulk-instantiated or need no dict anyway);
+  dataclasses with field defaults cannot take ``__slots__`` on the
+  Python 3.9 CI floor and carry acknowledgements instead;
+* ``loop-allocation`` — no container literals, comprehensions, lambdas,
+  or ``list()``/``dict()``/... constructor calls inside the loop bodies
+  of the event engine's ``run`` / ``run_until``: the dispatch loop runs
+  once per event and must not churn the allocator.
+
 A finding may be acknowledged in place with a trailing
 ``# srclint: ok(<rule>)`` comment on the offending line (the
 crash-isolation boundary in the experiment supervisor, for example,
@@ -67,6 +82,22 @@ _SWALLOWING_CATCHES = {"SimulationError", "Exception", "BaseException"}
 #: Files allowed to read the wall clock: the watchdog *is* the wall
 #: clock boundary (its readings feed abort decisions, never sim state).
 _WALL_CLOCK_ALLOWED = ("faults/watchdog.py",)
+
+#: Package subtrees whose classes are instantiated per event or per
+#: cache line — the ``missing-slots`` rule's scope.
+_HOT_PATH_DIRS = ("sim/", "caches/", "coherence/")
+
+#: Base classes that exempt a class from ``missing-slots``: enums and
+#: NamedTuples manage their own storage, Protocols are not instantiated.
+_SLOTS_EXEMPT_BASES = {
+    "Enum", "IntEnum", "IntFlag", "Flag", "NamedTuple", "Protocol",
+}
+
+#: Event-engine dispatch loops guarded by ``loop-allocation``.
+_EVENT_LOOP_FNS = {"run", "run_until"}
+
+#: Container constructors whose calls allocate inside the event loop.
+_ALLOC_CALLS = {"list", "dict", "set", "tuple", "frozenset", "bytearray"}
 
 _OK_COMMENT = re.compile(r"#\s*srclint:\s*ok(?:\(([a-z-]+)\))?")
 
@@ -268,6 +299,11 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        if (
+            self.rel_path.startswith("sim/")
+            and node.name in _EVENT_LOOP_FNS
+        ):
+            self._check_loop_allocations(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
@@ -277,6 +313,80 @@ class _Visitor(ast.NodeVisitor):
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
         self.generic_visit(node)
+
+    # -- hot-path performance ----------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.rel_path.startswith(_HOT_PATH_DIRS):
+            self._check_slots(node)
+        self.generic_visit(node)
+
+    def _check_slots(self, node: ast.ClassDef) -> None:
+        base_names = set()
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                base_names.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                base_names.add(base.attr)
+        if base_names & _SLOTS_EXEMPT_BASES:
+            return
+        exc_suffixes = ("Error", "Exception", "Warning")
+        if node.name.endswith(exc_suffixes) or any(
+            name.endswith(exc_suffixes) for name in base_names
+        ):
+            return
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(target, ast.Name) and target.id == "__slots__"
+                for target in stmt.targets
+            ):
+                return
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return
+        self._flag(
+            node, "missing-slots",
+            f"class {node.name!r} lives on the per-event/per-line hot "
+            f"path but declares no __slots__; every instance carries a "
+            f"__dict__",
+        )
+
+    def _check_loop_allocations(self, func: ast.FunctionDef) -> None:
+        flagged: Set[int] = set()
+        for loop in ast.walk(func):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            for child in ast.walk(loop):
+                if child is loop or id(child) in flagged:
+                    continue
+                alloc = None
+                if isinstance(child, (ast.List, ast.Dict, ast.Set)):
+                    alloc = "a container literal"
+                elif isinstance(
+                    child,
+                    (ast.ListComp, ast.SetComp, ast.DictComp,
+                     ast.GeneratorExp),
+                ):
+                    alloc = "a comprehension"
+                elif isinstance(child, ast.Lambda):
+                    alloc = "a lambda"
+                elif (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Name)
+                    and child.func.id in _ALLOC_CALLS
+                ):
+                    alloc = f"{child.func.id}()"
+                if alloc is not None:
+                    flagged.add(id(child))
+                    self._flag(
+                        child, "loop-allocation",
+                        f"{alloc} is allocated inside the event-dispatch "
+                        f"loop of {func.name}(); hoist it out of the "
+                        f"per-event path",
+                    )
 
     # -- swallowed SimulationError -----------------------------------------
 

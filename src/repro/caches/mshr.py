@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 
 @dataclass
-class OutstandingMiss:
+class OutstandingMiss:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
     """One in-flight fill/ownership transaction for a line."""
 
     line: int
@@ -32,6 +32,8 @@ class OutstandingMiss:
 
 class MSHRTable:
     """Outstanding-transaction table for one node's secondary cache."""
+
+    __slots__ = ("_misses", "combines")
 
     def __init__(self) -> None:
         self._misses: Dict[int, OutstandingMiss] = {}

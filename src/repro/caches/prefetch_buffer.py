@@ -24,6 +24,10 @@ from collections import deque
 class PrefetchEntry:
     """One buffered prefetch request."""
 
+    # No field defaults, so manual __slots__ is safe on the py3.9 floor
+    # (defaulted dataclass fields would clash with slot descriptors).
+    __slots__ = ("line", "exclusive", "enqueue_time")
+
     line: int
     exclusive: bool
     enqueue_time: int
@@ -31,6 +35,11 @@ class PrefetchEntry:
 
 class PrefetchBuffer:
     """FIFO buffer of pending prefetch requests."""
+
+    __slots__ = (
+        "depth", "_entries", "enqueued", "discarded_in_cache",
+        "discarded_outstanding", "full_stalls",
+    )
 
     def __init__(self, depth: int) -> None:
         if depth <= 0:

@@ -23,7 +23,7 @@ from collections import deque
 
 
 @dataclass
-class WriteEntry:
+class WriteEntry:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
     """One buffered write (or release marker)."""
 
     line: int
@@ -37,6 +37,11 @@ class WriteEntry:
 
 class WriteBuffer:
     """FIFO write buffer with a bounded number of in-flight retirements."""
+
+    __slots__ = (
+        "depth", "max_outstanding", "_entries", "_inflight_completions",
+        "enqueued", "full_stalls", "on_event",
+    )
 
     def __init__(
         self,

@@ -130,16 +130,39 @@ def _print_summary(runner: ExperimentRunner) -> None:
     )
 
 
-_CHECKS = (
-    "lint", "races", "litmus", "invariants", "faults",
-    "model", "lockorder", "srclint", "trace", "layout",
-)
+#: One-line description per analysis pass, in run order.  ``--list-checks``
+#: prints this; keep it in sync when adding a pass.
+_CHECK_DESCRIPTIONS = {
+    "lint": "structural lint of each app's op streams (op shape, sync pairing)",
+    "races": "happens-before data-race detection over the op streams",
+    "litmus": "consistency litmus matrix through the full machine",
+    "invariants": "sanitized smoke simulation (SWMR, inclusion, precision)",
+    "faults": "smoke apps under seeded message faults, sanitizer armed",
+    "model": "exhaustive model check of the abstract directory protocol",
+    "lockorder": "static lock-order deadlock and barrier analysis",
+    "srclint": "determinism + hot-path lint over the simulator source",
+    "protolint": "static completeness/determinism/liveness check of the "
+                 "declarative protocol transition table",
+    "trace": "axiomatic trace conformance (litmus matrix + smoke runs)",
+    "layout": "static memory-layout lint of the bundled apps",
+}
+
+_CHECKS = tuple(_CHECK_DESCRIPTIONS)
+
+#: What ``repro-1991 check`` runs with no selection flags at all: the
+#: fast dynamic passes.  ``--all`` is the documented way to run every
+#: pass in ``_CHECKS``.
+_DEFAULT_CHECKS = ("lint", "races", "litmus", "invariants")
 
 #: Seeded consistency bugs for ``--trace-mutate`` (the tracecheck
 #: analogue of ``--mc-mutate``).
 _TRACE_MUTATIONS = (
     "drop-inval-ack", "release-overtakes-writes", "forward-unissued-write",
 )
+
+#: Seeded transition-table defects for ``--proto-mutate`` (the
+#: protolint analogue of ``--mc-mutate``).
+_PROTO_MUTATIONS = ("drop-transition", "overlap-rule", "orphan-state")
 _CHECK_APPS = ("MP3D", "LU", "PTHOR")
 
 
@@ -245,6 +268,59 @@ def run_model_check(
     return 0
 
 
+def run_proto_lint(
+    mutation: Optional[str] = None,
+    fingerprint_path: Optional[str] = None,
+    mc_config: Optional[dict] = None,
+) -> int:
+    """The ``check --proto-lint`` entry point: statically verify the
+    declarative protocol transition table (complete, deterministic,
+    live against the model checker's reachable states, stutter-free),
+    printing each violation with its minimal witness trace.  With
+    ``fingerprint_path``, cache the canonical table fingerprint so CI
+    fails fast on unreviewed table diffs (the ``--mc-fingerprint``
+    pattern).  Returns nonzero on any finding or fingerprint mismatch."""
+    import pathlib
+
+    from repro.analysis.modelcheck import ModelConfig
+    from repro.analysis.protolint import lint_table, mutated_table
+
+    table = mutated_table(mutation) if mutation is not None else None
+    config = ModelConfig(**(mc_config or {}))
+    result = lint_table(table, config=config)
+    print(f"[protolint] {result.summary()}")
+    for finding in result.findings:
+        print("  " + finding.format().replace("\n", "\n  "))
+    if result.model_fingerprint is not None:
+        agreement = "agrees" if result.fingerprints_agree else "DISAGREES"
+        print(
+            f"[protolint] reachable-state fingerprint {agreement} with "
+            f"the model checker "
+            f"({(result.reachable_fingerprint or '')[:16]})"
+        )
+    if not result.ok:
+        return 1
+    if fingerprint_path:
+        path = pathlib.Path(fingerprint_path)
+        if path.exists():
+            cached = path.read_text().strip()
+            if cached != result.table_fingerprint:
+                print(
+                    f"[protolint] table fingerprint MISMATCH: cached "
+                    f"{cached[:16]} != computed "
+                    f"{result.table_fingerprint[:16]} — the transition "
+                    f"table changed; review the diff and delete {path} "
+                    f"to accept"
+                )
+                return 1
+            print(f"[protolint] table fingerprint matches cache ({path})")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(result.table_fingerprint + "\n")
+            print(f"[protolint] table fingerprint cached to {path}")
+    return 0
+
+
 def run_trace_check(
     app: str,
     mutation: Optional[str] = None,
@@ -305,11 +381,14 @@ def run_check(
     mc_mutation: Optional[str] = None,
     mc_fingerprint: Optional[str] = None,
     trace_mutation: Optional[str] = None,
+    proto_mutation: Optional[str] = None,
+    proto_fingerprint: Optional[str] = None,
 ) -> int:
     """The ``repro check`` subcommand: op-stream lint, race detection,
     litmus consistency checks, a sanitized simulation, and the static
     passes (protocol model check, lock-order analysis, source lint,
-    axiomatic trace conformance, layout lint).
+    transition-table protolint, axiomatic trace conformance, layout
+    lint).  ``--list-checks`` enumerates them; ``--all`` runs them all.
     Returns a nonzero exit status on lint errors, litmus violations, or
     invariant failures; data races are reported but do not fail the
     check (MP3D's move-phase races are benign and acknowledged by the
@@ -419,6 +498,14 @@ def run_check(
         if failures(issues, strict):
             fail("srclint")
 
+    if "protolint" in checks:
+        if run_proto_lint(
+            mutation=proto_mutation,
+            fingerprint_path=proto_fingerprint,
+            mc_config=mc_config,
+        ):
+            fail("protolint")
+
     if "trace" in checks:
         if run_trace_check(app, mutation=trace_mutation, verbose=verbose):
             fail("trace")
@@ -438,6 +525,59 @@ def run_check(
         return 1
     print("check: ok")
     return 0
+
+
+def list_checks() -> str:
+    """The ``--list-checks`` rendering: every pass with its one-liner,
+    with the no-flags default and the ``--all`` semantics spelled out."""
+    lines = ["available checks (run order):"]
+    for name in _CHECKS:
+        marker = "*" if name in _DEFAULT_CHECKS else " "
+        lines.append(f"  {marker} {name:<11} {_CHECK_DESCRIPTIONS[name]}")
+    lines.append(
+        "checks marked * run by default; --all runs every check; "
+        "--checks a,b or a dedicated flag runs just those"
+    )
+    return "\n".join(lines)
+
+
+def select_checks(args) -> List[str]:
+    """Resolve the ``check`` subcommand's flags to the list of passes.
+
+    Dedicated-check flags (``--faults``, ``--model-check``,
+    ``--lock-order``, ``--lint-src``, ``--proto-lint``,
+    ``--trace-check``, ``--layout-lint``) select exactly those passes;
+    ``--checks a,b`` adds an explicit list; ``--all`` selects every
+    pass.  With no selection at all, the documented default subset
+    :data:`_DEFAULT_CHECKS` runs (use ``--all`` for everything — the
+    bare default is *not* the full suite).
+    """
+    selected = []
+    if args.faults != "none":
+        selected.append("faults")
+    if args.model_check:
+        selected.append("model")
+    if args.lock_order:
+        selected.append("lockorder")
+    if args.lint_src:
+        selected.append("srclint")
+    if args.proto_lint or args.proto_mutate is not None:
+        selected.append("protolint")
+    if args.trace_check or args.trace_mutate is not None:
+        selected.append("trace")
+    if args.layout_lint:
+        selected.append("layout")
+    if args.all_checks:
+        checks = list(_CHECKS)
+        checks.extend(c for c in selected if c not in checks)
+        return checks
+    if args.checks is not None:
+        checks = [c.strip() for c in args.checks.split(",") if c.strip()]
+        checks.extend(c for c in selected if c not in checks)
+        return checks
+    if selected:
+        return selected
+    return list(_DEFAULT_CHECKS)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -493,10 +633,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="comma-separated subset of checks to run: "
              + ",".join(_CHECKS)
-             + " (default: lint,races,litmus,invariants; just the "
-             "selected checks when --faults, --model-check, "
-             "--lock-order, --lint-src, --trace-check, or "
-             "--layout-lint is given)",
+             + " (default: " + ",".join(_DEFAULT_CHECKS) + " — NOT the "
+             "full suite; use --all for everything, --list-checks to "
+             "enumerate; just the selected checks when --faults, "
+             "--model-check, --lock-order, --lint-src, --proto-lint, "
+             "--trace-check, or --layout-lint is given)",
+    )
+    parser.add_argument(
+        "--all",
+        dest="all_checks",
+        action="store_true",
+        help="run every check in the suite (the documented "
+             "everything mode; the bare default runs only "
+             + ",".join(_DEFAULT_CHECKS) + ")",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list every check with a one-line description and exit",
     )
     parser.add_argument(
         "--model-check",
@@ -535,6 +689,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run --trace-check's demo litmus test with a deliberately "
              "seeded consistency bug installed (each mutation yields a "
              "printed witness cycle and a nonzero exit)",
+    )
+    parser.add_argument(
+        "--proto-lint",
+        action="store_true",
+        help="statically verify the declarative protocol transition "
+             "table: complete (every reachable (state, event) pair "
+             "handled or declared impossible), deterministic (no "
+             "overlapping rules), live (no dead states/transitions, "
+             "cross-checked against the model checker's reachable "
+             "states), and stutter-free, with minimal witness traces",
+    )
+    parser.add_argument(
+        "--proto-mutate",
+        choices=list(_PROTO_MUTATIONS),
+        default=None,
+        help="proto-lint a deliberately broken copy of the table (demo: "
+             "each mutation yields a violation with a witness)",
+    )
+    parser.add_argument(
+        "--proto-fingerprint",
+        default=None,
+        metavar="PATH",
+        help="cache the canonical table fingerprint at PATH: written "
+             "when absent, compared when present (mismatch fails the "
+             "check — CI's fast table-diff detector)",
     )
     parser.add_argument(
         "--layout-lint",
@@ -614,29 +793,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.what == "check":
-        # Dedicated-check flags: any combination of --faults,
-        # --model-check, --lock-order, --lint-src, --trace-check,
-        # --layout-lint given without --checks runs exactly those checks.
-        selected = []
-        if args.faults != "none":
-            selected.append("faults")
-        if args.model_check:
-            selected.append("model")
-        if args.lock_order:
-            selected.append("lockorder")
-        if args.lint_src:
-            selected.append("srclint")
-        if args.trace_check or args.trace_mutate is not None:
-            selected.append("trace")
-        if args.layout_lint:
-            selected.append("layout")
-        if args.checks is not None:
-            checks = [c.strip() for c in args.checks.split(",") if c.strip()]
-            checks.extend(c for c in selected if c not in checks)
-        elif selected:
-            checks = selected
-        else:
-            checks = ["lint", "races", "litmus", "invariants"]
+        if args.list_checks:
+            print(list_checks())
+            return 0
+        checks = select_checks(args)
         unknown = set(checks) - set(_CHECKS)
         if unknown:
             parser.error(f"unknown checks: {', '.join(sorted(unknown))}")
@@ -662,6 +822,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             mc_mutation=args.mc_mutate,
             mc_fingerprint=args.mc_fingerprint,
             trace_mutation=args.trace_mutate,
+            proto_mutation=args.proto_mutate,
+            proto_fingerprint=args.proto_fingerprint,
         )
 
     runner = ExperimentRunner(

@@ -8,14 +8,34 @@ from repro.coherence.protocol import (
     NodeCaches,
     ProtocolStats,
 )
+from repro.coherence.table import (
+    DIRECTORY_PROTOCOL_TABLE,
+    Action,
+    Impossible,
+    ProtocolTableError,
+    ProtoEvent,
+    Rule,
+    TransitionTable,
+    build_directory_table,
+    impossibility_reason,
+)
 
 __all__ = [
     "AccessClass",
     "AccessOutcome",
+    "Action",
     "CoherenceProtocol",
+    "DIRECTORY_PROTOCOL_TABLE",
     "Directory",
     "DirectoryEntry",
     "DirState",
+    "Impossible",
     "NodeCaches",
     "ProtocolStats",
+    "ProtocolTableError",
+    "ProtoEvent",
+    "Rule",
+    "TransitionTable",
+    "build_directory_table",
+    "impossibility_reason",
 ]

@@ -28,7 +28,7 @@ class DirState(enum.IntEnum):
 
 
 @dataclass
-class DirectoryEntry:
+class DirectoryEntry:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
     """Directory record for one memory line."""
 
     state: DirState = DirState.UNOWNED
@@ -63,6 +63,8 @@ class DirectoryEntry:
 
 class Directory:
     """The directory slice stored at one home node."""
+
+    __slots__ = ("node_id", "_entries", "nacks_sent")
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
@@ -115,3 +117,24 @@ class Directory:
             entry.state = DirState.UNOWNED
             entry.owner = None
             entry.sharers.clear()
+
+    def apply_eviction(self, rule, line: int, node: int) -> None:
+        """Apply an eviction rule's directory actions for ``node``
+        dropping its copy of ``line``.
+
+        The rule comes from the declarative transition table
+        (:data:`~repro.coherence.table.DIRECTORY_PROTOCOL_TABLE`);
+        protolint's conformance pass checks that the defensive updates
+        below land on exactly the rule's declared next directory state.
+        """
+        # Imported here: the table module imports DirState from us.
+        from repro.coherence.table import Action
+
+        if Action.WRITEBACK_MEMORY in rule.action_set:
+            self.writeback(line, node)
+        elif Action.DROP_SHARER in rule.action_set:
+            self.drop_sharer(line, node)
+        else:
+            raise SimulationError(
+                f"eviction rule {rule.name!r} names no directory action"
+            )

@@ -9,6 +9,17 @@ the transaction's path.  Conflicting transactions are serialized by the
 event calendar, which is behaviourally equivalent to serialization at the
 home node (what DASH's directory controllers do).
 
+The *state machine* itself — which (cache-state, directory-state, event)
+combinations are legal and what each does to the caches and the home
+entry — is not hard-wired here: it lives in the declarative
+:data:`~repro.coherence.table.DIRECTORY_PROTOCOL_TABLE`.  Each handler
+classifies its situation into a :class:`~repro.coherence.table.
+ProtoEvent`, looks up the unique :class:`~repro.coherence.table.Rule`,
+branches on the rule's action set, and applies the rule's declared next
+states.  ``repro-1991 check --proto-lint`` statically verifies the table
+(complete, deterministic, live, stutter-free); this module contributes
+only the latency arithmetic and the action sequencing.
+
 Latency classification follows Table 1:
 
 * reads — primary hit / secondary fill / local node / home node
@@ -26,10 +37,31 @@ from typing import List, NamedTuple, Optional, Tuple
 
 from repro.caches import DirectMappedCache, LineState
 from repro.coherence.directory import Directory, DirState
+from repro.coherence.table import (
+    DIRECTORY_PROTOCOL_TABLE,
+    Action,
+    ProtocolTableError,
+    ProtoEvent,
+)
 from repro.config import MachineConfig
 from repro.interconnect import Interconnect
 from repro.memlayout import SharedMemoryAllocator
 from repro.sim.engine import SimulationError
+
+#: Hit rules resolved once at import: by directory precision, a SHARED
+#: secondary copy pins the home entry to SHARED and a DIRTY copy pins it
+#: to DIRTY, so the handlers need not consult the directory on a hit.
+_READ_HIT_RULES = {
+    LineState.SHARED: DIRECTORY_PROTOCOL_TABLE.lookup(
+        LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT
+    ),
+    LineState.DIRTY: DIRECTORY_PROTOCOL_TABLE.lookup(
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.READ_HIT
+    ),
+}
+_WRITE_HIT_RULE = DIRECTORY_PROTOCOL_TABLE.lookup(
+    LineState.DIRTY, DirState.DIRTY, ProtoEvent.WRITE_HIT
+)
 
 
 class AccessClass(enum.Enum):
@@ -59,7 +91,7 @@ class AccessOutcome(NamedTuple):
 
 
 @dataclass
-class ProtocolStats:
+class ProtocolStats:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
     """Aggregate protocol event counters."""
 
     reads_by_class: dict = field(default_factory=dict)
@@ -125,15 +157,20 @@ class ProtocolStats:
 
 
 @dataclass
-class NodeCaches:
+class NodeCaches:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
     """The two cache levels of one node, as seen by the protocol."""
 
     primary: DirectMappedCache
     secondary: DirectMappedCache
 
 
-class CoherenceProtocol:
-    """Transaction engine over the directories, caches, and interconnect."""
+class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layers rebind instance methods
+    """Transaction engine over the directories, caches, and interconnect.
+
+    The protocol *state machine* is the declarative
+    :attr:`table`; this class sequences the rule actions and charges
+    the latencies.
+    """
 
     def __init__(
         self,
@@ -148,6 +185,8 @@ class CoherenceProtocol:
         self.caches = caches
         self.directories = directories
         self.net = interconnect
+        #: The declarative state machine the handlers are driven off.
+        self.table = DIRECTORY_PROTOCOL_TABLE
         self.stats = ProtocolStats()
         self._line_bytes = config.line_bytes
         #: Memory-event trace recorder; installed by the machine when
@@ -213,7 +252,15 @@ class CoherenceProtocol:
         # Inclusion: dropping a secondary line drops any primary copy.
         self.caches[node].primary.invalidate(victim_line)
         home = self.home_of(victim_line)
+        entry = self.directories[home].entry(victim_line)
         if victim_state == LineState.DIRTY:
+            event = ProtoEvent.EVICT_DIRTY
+            others: Optional[bool] = None
+        else:
+            event = ProtoEvent.EVICT_CLEAN
+            others = bool(entry.sharers - {node})
+        rule = self.table.lookup(victim_state, entry.state, event, others)
+        if Action.WRITEBACK_MEMORY in rule.action_set:
             # Write the dirty line back to home memory (fire-and-forget:
             # the write-back buffer hides its latency from the evicting
             # access, but the bandwidth is charged).
@@ -221,11 +268,10 @@ class CoherenceProtocol:
             if home != node:
                 self.net.charge_hop(node, home, time, data=True, background=True)
             self.net.charge_memory(home, time, background=True)
-            self.directories[home].writeback(victim_line, node)
             self.stats.eviction_writebacks += 1
-        else:
-            # Replacement hint keeps the directory precise; modelled free.
-            self.directories[home].drop_sharer(victim_line, node)
+        # The rule's directory actions (writeback release or replacement
+        # hint); the clean hint is modelled free.
+        self.directories[home].apply_eviction(rule, victim_line, node)
 
     # -- cached reads --------------------------------------------------------
 
@@ -242,7 +288,13 @@ class CoherenceProtocol:
             )
             self.stats.count_read(outcome.access_class)
             return outcome
-        if caches.secondary.lookup(line) != LineState.INVALID:
+        state = caches.secondary.lookup(line)
+        if state != LineState.INVALID:
+            rule = _READ_HIT_RULES[state]
+            if Action.FILL_FROM_CACHE not in rule.action_set:
+                raise ProtocolTableError(
+                    f"read-hit rule does not fill from cache: {rule.describe()}"
+                )
             self._install_primary(node, line)
             arrival = time + lat.read_fill_secondary
             self.stats.count_read(AccessClass.SECONDARY_HIT)
@@ -256,8 +308,11 @@ class CoherenceProtocol:
         lat = self.config.latency
         home = self.home_of(line)
         entry = self.directories[home].entry(line)
+        rule = self.table.lookup(
+            LineState.INVALID, entry.state, ProtoEvent.READ_MISS
+        )
 
-        if entry.state == DirState.DIRTY and entry.owner != node:
+        if Action.FETCH_FROM_OWNER in rule.action_set:
             owner = entry.owner
             delay = self.net.charge_bus(node, time, data=False)
             if home == node:
@@ -285,18 +340,21 @@ class CoherenceProtocol:
                 delay += self.net.charge_bus(owner, time + delay, data=True)
                 delay += self.net.charge_hop(owner, node, time + delay, data=True)
                 access_class = AccessClass.REMOTE
-            # Owner downgrades to SHARED; home memory refreshed (sharing
-            # writeback — bandwidth charged, latency hidden).
+            # DOWNGRADE_OWNER: the dirty copy becomes SHARED in place.
+            # SHARING_WRITEBACK refreshes home memory (bandwidth
+            # charged, latency hidden).
             if self.caches[owner].secondary.probe(line) == LineState.DIRTY:
                 self.caches[owner].secondary.set_state(line, LineState.SHARED)
             if owner != home:
                 self.net.charge_hop(owner, home, time + delay, data=True)
             self.net.charge_memory(home, time + delay)
             self.stats.sharing_writebacks += 1
-            entry.state = DirState.SHARED
+            # ADD_SHARER: old owner and requester now share the line.
+            entry.state = rule.next_dir_state
             entry.sharers = {owner, node}
             entry.owner = None
         else:
+            # READ_MEMORY: home memory holds the valid copy.
             if home == node:
                 base = lat.read_fill_local
                 delay = self.net.charge_bus(node, time, data=True)
@@ -311,11 +369,11 @@ class CoherenceProtocol:
                 delay += self.net.charge_hop(home, node, time + delay, data=True)
                 delay += self.net.charge_bus(node, time + delay, data=True)
                 access_class = AccessClass.HOME
-            if entry.state == DirState.UNOWNED:
-                entry.state = DirState.SHARED
+            # ADD_SHARER: the entry becomes (or stays) SHARED.
+            entry.state = rule.next_dir_state
             entry.sharers.add(node)
 
-        self._install_secondary(node, line, LineState.SHARED, time)
+        self._install_secondary(node, line, rule.next_cache_state, time)
         self._install_primary(node, line)
         arrival = time + base + delay
         return AccessOutcome(arrival, arrival, access_class)
@@ -339,6 +397,11 @@ class CoherenceProtocol:
             self.stats.writes_line_present += 1
 
         if state == LineState.DIRTY:
+            if Action.FILL_FROM_CACHE not in _WRITE_HIT_RULE.action_set:
+                raise ProtocolTableError(
+                    "write-hit rule does not fill from cache: "
+                    f"{_WRITE_HIT_RULE.describe()}"
+                )
             # Write-through primary: refresh the primary copy if present.
             if caches.primary.probe(line) != LineState.INVALID:
                 caches.primary.insert(line, LineState.SHARED)
@@ -370,9 +433,15 @@ class CoherenceProtocol:
         lat = self.config.latency
         home = self.home_of(line)
         entry = self.directories[home].entry(line)
+        event = (
+            ProtoEvent.WRITE_MISS
+            if had_shared == LineState.INVALID
+            else ProtoEvent.WRITE_UPGRADE
+        )
+        rule = self.table.lookup(had_shared, entry.state, event)
         ack_extra = 0
 
-        if entry.state == DirState.DIRTY and entry.owner != node:
+        if Action.FETCH_FROM_OWNER in rule.action_set:
             owner = entry.owner
             self.stats.ownership_transfers += 1
             delay = self.net.charge_bus(node, time, data=False, background=background)
@@ -393,11 +462,15 @@ class CoherenceProtocol:
             access_class = (
                 AccessClass.REMOTE if base == lat.write_owned_remote else AccessClass.HOME
             )
-            # The previous owner's copies are invalidated by the transfer.
+            # INVALIDATE_OWNER: the transfer invalidates the previous
+            # owner's copies.
             self.caches[owner].secondary.invalidate(line)
             self.caches[owner].primary.invalidate(line)
             self.stats.invalidations_sent += 1
         else:
+            # READ_MEMORY, plus INVALIDATE_SHARERS when the entry lists
+            # other caches (the set is empty on an UNOWNED miss, so the
+            # invalidation loop below degenerates to a no-op there).
             sharers = entry.sharers - {node}
             if home == node:
                 base = lat.write_owned_local
@@ -429,14 +502,15 @@ class CoherenceProtocol:
                 )
                 ack_extra = max(ack_extra, ack_time)
 
-        entry.state = DirState.DIRTY
+        # SET_OWNER: the requester becomes the exclusive owner.
+        entry.state = rule.next_dir_state
         entry.owner = node
         entry.sharers = set()
 
         if had_shared == LineState.INVALID:
-            self._install_secondary(node, line, LineState.DIRTY, time)
+            self._install_secondary(node, line, rule.next_cache_state, time)
         else:
-            self.caches[node].secondary.set_state(line, LineState.DIRTY)
+            self.caches[node].secondary.set_state(line, rule.next_cache_state)
 
         retire = time + base + delay
         return AccessOutcome(retire, retire + ack_extra, access_class)

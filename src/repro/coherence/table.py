@@ -1,0 +1,420 @@
+"""The coherence protocol as a declarative transition table.
+
+Historically the directory protocol lived as hard-wired branches inside
+:mod:`repro.coherence.protocol` — correct, but opaque: no analyzer could
+enumerate the transitions, so checking completeness or adding a second
+protocol (MESI/MOESI, ROADMAP item 2) meant reading ~600 lines of
+imperative code.  This module lifts the state machine into data:
+
+* every ``(cache-state, directory-state, event)`` combination the
+  protocol can encounter maps to exactly one :class:`Rule` — the
+  abstract actions performed plus the requester's and the home entry's
+  next states — or to an :class:`Impossible` declaration stating *why*
+  the combination cannot arise (directory precision, hit/miss
+  definitions);
+* the imperative handlers in :class:`~repro.coherence.protocol.
+  CoherenceProtocol` and :class:`~repro.coherence.directory.Directory`
+  are *driven off* this table: they look the rule up, branch on its
+  action set, and apply its declared next states.  The golden payload
+  digests, the litmus matrix, and the trace-conformance oracle prove
+  the lifted table is bit-identical to the old branches;
+* :mod:`repro.analysis.protolint` statically checks the table —
+  complete, deterministic, live (cross-checked against the model
+  checker's reachable states), and stutter-free — and fingerprints it
+  for CI.
+
+Scope: the table describes the *secondary-cache + home-directory* state
+machine, i.e. the globally visible protocol.  The write-through primary
+cache (pure inclusion detail), uncached accesses (coherence bypassed by
+definition), and all latency/queuing arithmetic stay in the imperative
+layer; see the soundness caveats in DESIGN.md.
+
+The requester's cache state and the home entry's state determine the
+requester's *relation* to the entry because the directory is precise: a
+SHARED copy implies membership in ``sharers`` and a DIRTY copy implies
+``owner == requester``.  The only dynamic guard a rule may carry is
+``others_cached`` — whether any *other* cache holds the line — which
+decides e.g. whether a clean eviction leaves the entry SHARED or
+returns it to UNOWNED.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.caches import LineState
+from repro.coherence.directory import DirState
+from repro.sim.engine import SimulationError
+
+
+class ProtoEvent(enum.Enum):
+    """What the requesting (or evicting) cache is doing to the line."""
+
+    READ_HIT = "read_hit"            # secondary supplies the data
+    READ_MISS = "read_miss"          # fill request reaches the home
+    WRITE_HIT = "write_hit"          # already exclusive in secondary
+    WRITE_MISS = "write_miss"        # ownership request, no copy held
+    WRITE_UPGRADE = "write_upgrade"  # ownership request, clean copy held
+    EVICT_CLEAN = "evict_clean"      # replacement of a SHARED line
+    EVICT_DIRTY = "evict_dirty"      # replacement of a DIRTY line
+
+
+class Action(enum.Enum):
+    """Abstract protocol actions a rule performs, in no particular
+    order — sequencing (and every latency charge) stays imperative."""
+
+    FILL_FROM_CACHE = "fill_from_cache"      # hit completes locally
+    READ_MEMORY = "read_memory"              # home memory supplies data
+    FETCH_FROM_OWNER = "fetch_from_owner"    # dirty third party forwards
+    DOWNGRADE_OWNER = "downgrade_owner"      # owner DIRTY -> SHARED
+    SHARING_WRITEBACK = "sharing_writeback"  # refresh home memory
+    ADD_SHARER = "add_sharer"                # requester joins sharers
+    INVALIDATE_SHARERS = "invalidate_sharers"  # point-to-point invals
+    INVALIDATE_OWNER = "invalidate_owner"    # ownership transfer inval
+    SET_OWNER = "set_owner"                  # requester becomes owner
+    WRITEBACK_MEMORY = "writeback_memory"    # dirty eviction writeback
+    DROP_SHARER = "drop_sharer"              # replacement hint
+
+
+class ProtocolTableError(SimulationError):
+    """A transition was requested that the table declares impossible
+    (or does not cover at all) — a protocol bug, not a user error."""
+
+
+@dataclass(frozen=True)
+class Rule:  # srclint: ok(missing-slots) — a dozen static table rows, not per-event state
+    """One transition: ``(cache, dir, event[, guard]) -> (actions, next)``."""
+
+    name: str
+    cache_state: LineState
+    dir_state: DirState
+    event: ProtoEvent
+    #: Guard: do *other* caches hold the line?  ``None`` = don't care.
+    others_cached: Optional[bool]
+    actions: Tuple[Action, ...]
+    next_cache_state: LineState
+    next_dir_state: DirState
+
+    @property
+    def key(self) -> Tuple[LineState, DirState, ProtoEvent]:
+        return (self.cache_state, self.dir_state, self.event)
+
+    @property
+    def action_set(self) -> frozenset:
+        return frozenset(self.actions)
+
+    def matches(self, others: Optional[bool]) -> bool:
+        """Whether the guard admits a situation with ``others`` other
+        holders (``None`` matches only an unguarded rule)."""
+        if self.others_cached is None:
+            return True
+        return others == self.others_cached
+
+    def overlaps(self, other: "Rule") -> bool:
+        """Two rules overlap when some concrete situation satisfies
+        both keys and both guards."""
+        if self.key != other.key:
+            return False
+        if self.others_cached is None or other.others_cached is None:
+            return True
+        return self.others_cached == other.others_cached
+
+    def changes_state(self) -> bool:
+        return (
+            self.next_cache_state != self.cache_state
+            or self.next_dir_state != self.dir_state
+        )
+
+    def describe(self) -> str:
+        guard = (
+            ""
+            if self.others_cached is None
+            else f" [others={'yes' if self.others_cached else 'no'}]"
+        )
+        acts = ",".join(a.value for a in self.actions) or "-"
+        return (
+            f"{self.name}: ({self.cache_state.name}, {self.dir_state.name}, "
+            f"{self.event.value}){guard} -> [{acts}] "
+            f"-> ({self.next_cache_state.name}, {self.next_dir_state.name})"
+        )
+
+
+@dataclass(frozen=True)
+class Impossible:  # srclint: ok(missing-slots) — static table rows, not per-event state
+    """A ``(cache, dir, event)`` combination declared unreachable."""
+
+    cache_state: LineState
+    dir_state: DirState
+    event: ProtoEvent
+    reason: str
+
+    @property
+    def key(self) -> Tuple[LineState, DirState, ProtoEvent]:
+        return (self.cache_state, self.dir_state, self.event)
+
+    def describe(self) -> str:
+        return (
+            f"impossible ({self.cache_state.name}, {self.dir_state.name}, "
+            f"{self.event.value}): {self.reason}"
+        )
+
+
+class TransitionTable:
+    """An introspectable set of :class:`Rule` and :class:`Impossible`
+    entries with O(1) lookup for the imperative drivers.
+
+    Construction never validates beyond indexing — broken tables (the
+    seeded protolint mutations) must be constructible so the analyzer
+    has something to catch.  When overlapping rules are indexed the
+    first one wins at lookup time, mirroring a priority-ordered match.
+    """
+
+    __slots__ = ("name", "rules", "impossible", "_index", "_impossible_keys")
+
+    def __init__(
+        self,
+        rules: Tuple[Rule, ...],
+        impossible: Tuple[Impossible, ...],
+        name: str = "directory-invalidate",
+    ) -> None:
+        self.name = name
+        self.rules = tuple(rules)
+        self.impossible = tuple(impossible)
+        self._impossible_keys = {imp.key: imp for imp in self.impossible}
+        index: Dict[Tuple, Rule] = {}
+        for rule in self.rules:
+            guards = (True, False, None) if rule.others_cached is None else (
+                rule.others_cached,
+            )
+            for guard in guards:
+                index.setdefault(rule.key + (guard,), rule)
+        self._index = index
+
+    # -- runtime lookup ----------------------------------------------------
+
+    def lookup(
+        self,
+        cache_state: LineState,
+        dir_state: DirState,
+        event: ProtoEvent,
+        others: Optional[bool] = None,
+    ) -> Rule:
+        """The unique rule for a concrete situation.
+
+        Raises :class:`ProtocolTableError` when the situation is
+        declared impossible or simply not covered — either way the
+        protocol reached a state its own specification rules out.
+        """
+        rule = self._index.get((cache_state, dir_state, event, others))
+        if rule is not None:
+            return rule
+        imp = self._impossible_keys.get((cache_state, dir_state, event))
+        if imp is not None:
+            raise ProtocolTableError(
+                f"protocol reached a declared-impossible transition: "
+                f"{imp.describe()}"
+            )
+        raise ProtocolTableError(
+            f"no rule covers ({cache_state.name}, {dir_state.name}, "
+            f"{event.value}, others={others}) in table {self.name!r}"
+        )
+
+    def rule_named(self, name: str) -> Rule:
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(name)
+
+    # -- introspection (protolint's raw material) --------------------------
+
+    @staticmethod
+    def domain() -> Iterator[Tuple[LineState, DirState, ProtoEvent]]:
+        """Every ``(cache, dir, event)`` combination the table must
+        either handle or declare impossible."""
+        for cache_state in LineState:
+            for dir_state in DirState:
+                for event in ProtoEvent:
+                    yield (cache_state, dir_state, event)
+
+    def rules_for(
+        self, key: Tuple[LineState, DirState, ProtoEvent]
+    ) -> List[Rule]:
+        return [rule for rule in self.rules if rule.key == key]
+
+    def declared_impossible(
+        self, key: Tuple[LineState, DirState, ProtoEvent]
+    ) -> Optional[Impossible]:
+        return self._impossible_keys.get(key)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the canonical table rendering: any rule or
+        impossibility change (states, guards, actions, reasons) changes
+        it, so CI caches it to fail fast on unreviewed protocol diffs."""
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        digest.update(b"\n")
+        for rule in sorted(self.rules, key=lambda r: r.describe()):
+            digest.update(rule.describe().encode())
+            digest.update(b"\n")
+        for imp in sorted(self.impossible, key=lambda i: i.describe()):
+            digest.update(imp.describe().encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def describe(self) -> str:
+        lines = [f"transition table {self.name!r}: {len(self.rules)} "
+                 f"rule(s), {len(self.impossible)} impossible combo(s)"]
+        lines.extend(f"  {rule.describe()}" for rule in self.rules)
+        return "\n".join(lines)
+
+
+# -- the invalidating directory protocol ------------------------------------
+
+def impossibility_reason(
+    cache_state: LineState, dir_state: DirState, event: ProtoEvent
+) -> Optional[str]:
+    """Why a combination cannot arise, or ``None`` when it is legal.
+
+    The constraints are exactly the ones the runtime sanitizer and the
+    model checker enforce: hit/miss definitions tie the event to the
+    requester's cache state, and directory *precision* ties the
+    requester's cache state to the home entry's state.
+    """
+    required_cache = {
+        ProtoEvent.READ_MISS: LineState.INVALID,
+        ProtoEvent.WRITE_MISS: LineState.INVALID,
+        ProtoEvent.WRITE_HIT: LineState.DIRTY,
+        ProtoEvent.WRITE_UPGRADE: LineState.SHARED,
+        ProtoEvent.EVICT_CLEAN: LineState.SHARED,
+        ProtoEvent.EVICT_DIRTY: LineState.DIRTY,
+    }
+    if event == ProtoEvent.READ_HIT:
+        if cache_state == LineState.INVALID:
+            return "a read hit requires a resident secondary copy"
+    elif cache_state != required_cache[event]:
+        return (
+            f"{event.value} is defined for a requester whose secondary "
+            f"copy is {required_cache[event].name}, not {cache_state.name}"
+        )
+    if cache_state == LineState.SHARED and dir_state != DirState.SHARED:
+        return (
+            "directory precision: a clean cached copy implies the home "
+            "entry is SHARED and lists this cache"
+        )
+    if cache_state == LineState.DIRTY and dir_state != DirState.DIRTY:
+        return (
+            "directory precision: a modified copy implies the home entry "
+            "is DIRTY at exactly this owner"
+        )
+    return None
+
+
+#: The transitions of the paper's invalidating directory protocol, one
+#: rule per legal combination (two for the guarded clean eviction).
+_DIRECTORY_RULES: Tuple[Rule, ...] = (
+    Rule(
+        "read-hit-shared",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        "read-hit-owned",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "read-miss-unowned",
+        LineState.INVALID, DirState.UNOWNED, ProtoEvent.READ_MISS, None,
+        (Action.READ_MEMORY, Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        "read-miss-shared",
+        LineState.INVALID, DirState.SHARED, ProtoEvent.READ_MISS, None,
+        (Action.READ_MEMORY, Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        "read-miss-dirty-remote",
+        LineState.INVALID, DirState.DIRTY, ProtoEvent.READ_MISS, None,
+        (Action.FETCH_FROM_OWNER, Action.DOWNGRADE_OWNER,
+         Action.SHARING_WRITEBACK, Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        "write-hit-owned",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.WRITE_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-unowned",
+        LineState.INVALID, DirState.UNOWNED, ProtoEvent.WRITE_MISS, None,
+        (Action.READ_MEMORY, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-shared",
+        LineState.INVALID, DirState.SHARED, ProtoEvent.WRITE_MISS, None,
+        (Action.READ_MEMORY, Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-dirty",
+        LineState.INVALID, DirState.DIRTY, ProtoEvent.WRITE_MISS, None,
+        (Action.FETCH_FROM_OWNER, Action.INVALIDATE_OWNER, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-upgrade-shared",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.WRITE_UPGRADE, None,
+        (Action.READ_MEMORY, Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "evict-clean-other-sharers",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN, True,
+        (Action.DROP_SHARER,),
+        LineState.INVALID, DirState.SHARED,
+    ),
+    Rule(
+        "evict-clean-last",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN, False,
+        (Action.DROP_SHARER,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+    Rule(
+        "evict-dirty",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.EVICT_DIRTY, None,
+        (Action.WRITEBACK_MEMORY,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+)
+
+
+def build_directory_table() -> TransitionTable:
+    """The invalidating directory protocol as a transition table, with
+    every combination not covered by a rule explicitly declared
+    impossible (with its precision/hit-definition reason)."""
+    covered = {rule.key for rule in _DIRECTORY_RULES}
+    impossible: List[Impossible] = []
+    for cache_state, dir_state, event in TransitionTable.domain():
+        if (cache_state, dir_state, event) in covered:
+            continue
+        reason = impossibility_reason(cache_state, dir_state, event)
+        if reason is None:
+            # A legal combination without a rule: leave it *uncovered*
+            # rather than inventing an excuse — protolint's completeness
+            # pass exists to catch exactly this.
+            continue
+        impossible.append(Impossible(cache_state, dir_state, event, reason))
+    return TransitionTable(_DIRECTORY_RULES, tuple(impossible))
+
+
+#: The table the imperative protocol drivers and protolint both use.
+DIRECTORY_PROTOCOL_TABLE = build_directory_table()

@@ -75,6 +75,8 @@ class QueuedResource:
 class ResourceGroup:
     """A named collection of :class:`QueuedResource` for reporting."""
 
+    __slots__ = ("_resources",)
+
     def __init__(self) -> None:
         self._resources: List[QueuedResource] = []
 

@@ -191,3 +191,112 @@ def test_verdict_names_every_failing_check(capsys):
     out = capsys.readouterr().out
     assert status == 1
     assert "check: FAILED (invariants)" in out
+
+
+# -- transition-table protolint -----------------------------------------------
+
+
+def test_proto_lint_flag_passes_and_prints_summary(capsys):
+    status = main(["check", "--proto-lint"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "[protolint]" in out
+    assert "complete, deterministic, live, and stutter-free" in out
+    assert "fingerprint agrees with the model checker" in out
+    assert "[litmus]" not in out  # dedicated flag runs only its check
+    assert "check: ok" in out
+
+
+def test_proto_mutate_choices_match_protolint():
+    from repro.analysis.protolint import PROTO_MUTATIONS
+    from repro.cli import _PROTO_MUTATIONS
+
+    assert _PROTO_MUTATIONS == PROTO_MUTATIONS
+
+
+def test_proto_mutate_prints_witness_and_fails(capsys):
+    status = main(["check", "--proto-mutate", "drop-transition"])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "[completeness]" in out
+    assert "[liveness]" in out
+    assert "#0   initial" in out  # BFS-minimal witness trace
+    assert "check: FAILED (protolint)" in out
+
+
+def test_proto_fingerprint_cache_roundtrip(tmp_path, capsys):
+    fp = str(tmp_path / "proto.fingerprint")
+    assert main(["check", "--proto-lint", "--proto-fingerprint", fp]) == 0
+    assert "fingerprint cached" in capsys.readouterr().out
+    assert main(["check", "--proto-lint", "--proto-fingerprint", fp]) == 0
+    assert "fingerprint matches" in capsys.readouterr().out
+
+
+def test_proto_fingerprint_mismatch_fails(tmp_path, capsys):
+    fp = tmp_path / "proto.fingerprint"
+    fp.write_text("0" * 64 + "\n")
+    status = main(["check", "--proto-lint", "--proto-fingerprint", str(fp)])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "MISMATCH" in out
+
+
+# -- check selection: --list-checks, --all, defaults --------------------------
+
+
+def _check_args(**overrides):
+    import argparse
+
+    defaults = dict(
+        faults="none", model_check=False, lock_order=False, lint_src=False,
+        proto_lint=False, proto_mutate=None, trace_check=False,
+        trace_mutate=None, layout_lint=False, all_checks=False, checks=None,
+    )
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+def test_list_checks_names_every_check_and_defaults(capsys):
+    from repro.cli import _CHECKS, _DEFAULT_CHECKS
+
+    status = main(["check", "--list-checks"])
+    out = capsys.readouterr().out
+    assert status == 0
+    for name in _CHECKS:
+        assert name in out
+    assert "checks marked * run by default" in out
+    # Default markers line up with the documented default subset.
+    starred = [
+        line.split()[1] for line in out.splitlines()
+        if line.strip().startswith("*")
+    ]
+    assert tuple(starred) == _DEFAULT_CHECKS
+
+
+def test_select_checks_default_is_documented_subset():
+    from repro.cli import _DEFAULT_CHECKS, select_checks
+
+    assert select_checks(_check_args()) == list(_DEFAULT_CHECKS)
+
+
+def test_select_checks_all_runs_everything_once():
+    from repro.cli import _CHECKS, select_checks
+
+    checks = select_checks(_check_args(all_checks=True, proto_lint=True))
+    assert checks == list(_CHECKS)  # dedicated flag deduped, order kept
+
+
+def test_select_checks_dedicated_flags_are_exclusive():
+    from repro.cli import select_checks
+
+    assert select_checks(_check_args(proto_lint=True)) == ["protolint"]
+    assert select_checks(
+        _check_args(proto_mutate="overlap-rule")
+    ) == ["protolint"]
+
+
+def test_select_checks_explicit_list_merges_flags():
+    from repro.cli import select_checks
+
+    checks = select_checks(_check_args(checks="lint,litmus", proto_lint=True))
+    assert checks == ["lint", "litmus", "protolint"]

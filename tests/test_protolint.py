@@ -1,0 +1,204 @@
+"""Tests for the declarative transition table and its static analyzer."""
+
+import pytest
+
+from repro.analysis.modelcheck import ModelConfig, check_protocol
+from repro.analysis.protolint import (
+    PROTO_MUTATIONS,
+    check_completeness,
+    check_determinism,
+    check_stutter,
+    lint_table,
+    mutated_table,
+)
+from repro.caches import LineState
+from repro.coherence.directory import DirState
+from repro.coherence.table import (
+    DIRECTORY_PROTOCOL_TABLE,
+    Action,
+    ProtoEvent,
+    ProtocolTableError,
+    Rule,
+    TransitionTable,
+    build_directory_table,
+)
+
+
+# -- the table itself ---------------------------------------------------------
+
+
+class TestTransitionTable:
+    def test_every_domain_key_ruled_or_impossible(self):
+        table = DIRECTORY_PROTOCOL_TABLE
+        for key in TransitionTable.domain():
+            assert bool(table.rules_for(key)) != (
+                table.declared_impossible(key) is not None
+            ), key
+
+    def test_lookup_returns_the_named_rule(self):
+        rule = DIRECTORY_PROTOCOL_TABLE.lookup(
+            LineState.INVALID, DirState.DIRTY, ProtoEvent.READ_MISS
+        )
+        assert rule.name == "read-miss-dirty-remote"
+        assert Action.FETCH_FROM_OWNER in rule.action_set
+
+    def test_lookup_resolves_eviction_guard(self):
+        last = DIRECTORY_PROTOCOL_TABLE.lookup(
+            LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN,
+            others=False,
+        )
+        crowd = DIRECTORY_PROTOCOL_TABLE.lookup(
+            LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN,
+            others=True,
+        )
+        assert last.next_dir_state == DirState.UNOWNED
+        assert crowd.next_dir_state == DirState.SHARED
+
+    def test_lookup_of_impossible_key_raises_with_reason(self):
+        with pytest.raises(ProtocolTableError, match="impossible"):
+            DIRECTORY_PROTOCOL_TABLE.lookup(
+                LineState.DIRTY, DirState.UNOWNED, ProtoEvent.READ_HIT
+            )
+
+    def test_fingerprint_is_stable_and_content_addressed(self):
+        base = build_directory_table()
+        assert base.fingerprint() == DIRECTORY_PROTOCOL_TABLE.fingerprint()
+        assert (
+            mutated_table("drop-transition").fingerprint()
+            != base.fingerprint()
+        )
+
+    def test_protocol_exposes_the_table(self):
+        from repro.coherence import CoherenceProtocol
+
+        assert hasattr(CoherenceProtocol, "__init__")
+        from tests.test_coherence import make_protocol
+
+        protocol, _ = make_protocol()
+        assert protocol.table is DIRECTORY_PROTOCOL_TABLE
+
+
+# -- static passes on the real table ------------------------------------------
+
+
+class TestCleanTable:
+    def test_lint_passes_clean(self):
+        result = lint_table()
+        assert result.ok, result.format()
+        assert result.rules == 13
+        assert "complete, deterministic, live" in result.summary()
+
+    def test_fingerprints_agree_with_model_checker(self):
+        config = ModelConfig()
+        result = lint_table(config=config)
+        assert result.fingerprints_agree
+        assert result.reachable_fingerprint == check_protocol(config).fingerprint
+
+    def test_static_passes_individually_clean(self):
+        table = DIRECTORY_PROTOCOL_TABLE
+        assert check_completeness(table) == []
+        assert check_determinism(table) == []
+        assert check_stutter(table) == []
+
+
+# -- seeded mutations ---------------------------------------------------------
+
+
+class TestMutations:
+    def test_drop_transition_is_a_completeness_hole_with_witness(self):
+        result = lint_table(mutated_table("drop-transition"))
+        assert not result.ok
+        checks = {finding.check for finding in result.findings}
+        assert "completeness" in checks
+        liveness = [f for f in result.findings if f.check == "liveness"]
+        assert liveness, result.format()
+        # The model reaches the un-ruled observation; the witness is a
+        # BFS-minimal trace from the initial state.
+        assert any(f.witness for f in liveness)
+        assert any("initial" in step for f in liveness for step in f.witness)
+
+    def test_overlap_rule_breaks_determinism(self):
+        result = lint_table(mutated_table("overlap-rule"))
+        assert not result.ok
+        determinism = [
+            f for f in result.findings if f.check == "determinism"
+        ]
+        assert determinism
+        assert "evict-clean-shadow" in determinism[0].message
+        # The first-wins index shadows the unguarded duplicate, so the
+        # liveness pass also reports it dead.
+        assert any(
+            f.check == "liveness" and "evict-clean-shadow" in f.message
+            for f in result.findings
+        )
+
+    def test_orphan_state_is_a_dead_transition(self):
+        result = lint_table(mutated_table("orphan-state"))
+        assert not result.ok
+        dead = [
+            f for f in result.findings
+            if f.check == "liveness" and "dead transition" in f.message
+        ]
+        assert dead, result.format()
+        assert "write-upgrade-stale" in dead[0].message
+        # Dead-transition messages must name the model bounds the claim
+        # is relative to.
+        assert "caches" in dead[0].message
+
+    def test_every_published_mutation_is_detected(self):
+        for mutation in PROTO_MUTATIONS:
+            result = lint_table(mutated_table(mutation))
+            assert not result.ok, mutation
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            mutated_table("flip-everything")
+
+
+# -- stutter detection on a synthetic table -----------------------------------
+
+
+def _stutter_findings(rules):
+    table = TransitionTable(rules, (), name="synthetic")
+    return check_stutter(table)
+
+
+class TestStutter:
+    def test_pure_noop_rule_flagged(self):
+        findings = _stutter_findings((
+            Rule(
+                "noop",
+                LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT,
+                None, (), LineState.SHARED, DirState.SHARED,
+            ),
+        ))
+        assert [f.check for f in findings] == ["stutter"]
+        assert "no actions" in findings[0].message
+
+    def test_action_free_cycle_flagged(self):
+        findings = _stutter_findings((
+            Rule(
+                "flip",
+                LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT,
+                None, (), LineState.DIRTY, DirState.DIRTY,
+            ),
+            Rule(
+                "flop",
+                LineState.DIRTY, DirState.DIRTY, ProtoEvent.WRITE_HIT,
+                None, (), LineState.SHARED, DirState.SHARED,
+            ),
+        ))
+        assert any("cycle" in f.message for f in findings)
+
+    def test_action_free_state_change_without_cycle_ok(self):
+        findings = _stutter_findings((
+            Rule(
+                "sink",
+                LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT,
+                None, (), LineState.INVALID, DirState.UNOWNED,
+            ),
+        ))
+        assert findings == []
+
+    def test_real_rules_all_perform_actions(self):
+        assert all(r.actions for r in DIRECTORY_PROTOCOL_TABLE.rules)

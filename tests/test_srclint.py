@@ -269,3 +269,105 @@ class TestTree:
         text = format_issues(issues)
         assert "1 issue(s)" in text
         assert "x.py:2" in text
+
+
+class TestMissingSlots:
+    def test_plain_hot_path_class_flagged(self):
+        assert _rules("""
+            class EventRecord:
+                def __init__(self):
+                    self.time = 0
+        """, rel_path="sim/engine.py") == ["missing-slots"]
+
+    def test_slots_declaration_satisfies(self):
+        assert _rules("""
+            class EventRecord:
+                __slots__ = ("time",)
+                def __init__(self):
+                    self.time = 0
+        """, rel_path="caches/cache.py") == []
+
+    def test_annotated_slots_satisfy(self):
+        assert _rules("""
+            class EventRecord:
+                __slots__: tuple = ("time",)
+        """, rel_path="coherence/protocol.py") == []
+
+    def test_enum_bases_exempt(self):
+        assert _rules("""
+            from enum import Enum
+
+            class LineState(Enum):
+                INVALID = 0
+        """, rel_path="caches/cache.py") == []
+
+    def test_exception_classes_exempt(self):
+        assert _rules("""
+            class TableError(SimulationError):
+                pass
+        """, rel_path="coherence/table.py") == []
+
+    def test_outside_hot_path_not_flagged(self):
+        assert _rules("""
+            class ReportRow:
+                def __init__(self):
+                    self.cells = []
+        """, rel_path="experiments/report.py") == []
+
+    def test_ack_comment_suppresses(self):
+        assert _rules("""
+            class Wrapped:  # srclint: ok(missing-slots)
+                pass
+        """, rel_path="sim/engine.py") == []
+
+    def test_shipped_hot_path_classes_all_have_slots_or_acks(self):
+        issues = [
+            issue for issue in lint_tree()
+            if issue.rule == "missing-slots"
+        ]
+        assert issues == [], format_issues(issues)
+
+
+class TestLoopAllocation:
+    def test_list_literal_in_engine_loop_flagged(self):
+        assert _rules("""
+            def run(self):
+                while self.pending:
+                    batch = []
+        """, rel_path="sim/engine.py") == ["loop-allocation"]
+
+    def test_comprehension_in_run_until_flagged(self):
+        assert _rules("""
+            def run_until(self, limit):
+                for event in self.pending:
+                    ready = [e for e in self.pending if e.time <= limit]
+        """, rel_path="sim/engine.py") == ["loop-allocation"]
+
+    def test_alloc_constructor_flagged(self):
+        assert _rules("""
+            def run(self):
+                while self.pending:
+                    seen = set()
+        """, rel_path="sim/engine.py") == ["loop-allocation"]
+
+    def test_allocation_outside_loop_ok(self):
+        assert _rules("""
+            def run(self):
+                batch = []
+                while self.pending:
+                    batch.append(self.pending.pop())
+        """, rel_path="sim/engine.py") == []
+
+    def test_other_functions_not_checked(self):
+        assert _rules("""
+            def drain(self):
+                while self.pending:
+                    batch = []
+        """, rel_path="sim/engine.py") == []
+
+    def test_outside_sim_not_checked(self):
+        assert _rules("""
+            def run(self):
+                while self.pending:
+                    batch = []
+        """, rel_path="experiments/runner.py") == []
