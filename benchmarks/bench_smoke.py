@@ -7,6 +7,14 @@ the repository root.  The committed file is the measured trajectory
 later PRs compare against when touching hot paths; CI regenerates it
 and uploads the fresh copy as an artifact.
 
+``--check`` is the trajectory guard: instead of overwriting the file,
+it compares the fresh measurement against the committed one and fails
+(exit 1) if any app's throughput dropped to less than half the
+committed events/sec — the "did this PR accidentally make the
+simulator 2x slower" tripwire.  Wall-clock noise between hosts is real,
+so the threshold is deliberately coarse; simulated event counts, which
+are deterministic, must match exactly.
+
 Unlike the figure/table benchmarks in this directory, this is a plain
 script (``python benchmarks/bench_smoke.py``), not a pytest-benchmark
 target: it measures the simulator engine itself, not a reproduction
@@ -66,9 +74,68 @@ def run_smoke_benchmarks() -> dict:
     }
 
 
-def main() -> int:
+#: An app is a regression when its fresh throughput is below
+#: ``committed events/sec / REGRESSION_FACTOR``.
+REGRESSION_FACTOR = 2.0
+
+
+def check_against(committed: dict, fresh: dict) -> int:
+    """Compare a fresh measurement to the committed trajectory.
+
+    Returns the number of regressions: throughput collapses (>2x
+    slower than committed) and drifted deterministic event counts.
+    """
+    regressions = 0
+    for app, old in sorted(committed.get("apps", {}).items()):
+        new = fresh["apps"].get(app)
+        if new is None:
+            print(f"  {app}: MISSING from fresh run")
+            regressions += 1
+            continue
+        if new["events"] != old["events"]:
+            print(
+                f"  {app}: simulated event count drifted "
+                f"({old['events']:,} committed vs {new['events']:,} fresh) "
+                f"— not a perf question, the simulation changed"
+            )
+            regressions += 1
+        floor = old["events_per_sec"] / REGRESSION_FACTOR
+        if new["events_per_sec"] < floor:
+            print(
+                f"  {app}: THROUGHPUT REGRESSION "
+                f"{new['events_per_sec']:,}/s vs committed "
+                f"{old['events_per_sec']:,}/s "
+                f"(>{REGRESSION_FACTOR:.0f}x slower)"
+            )
+            regressions += 1
+        else:
+            print(
+                f"  {app}: ok ({new['events_per_sec']:,}/s vs committed "
+                f"{old['events_per_sec']:,}/s)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    check = "--check" in argv
     print(f"smoke benchmark ({SMOKE_PROCESSES} processors):")
     payload = run_smoke_benchmarks()
+    if check:
+        if not OUTPUT.exists():
+            print(f"{OUTPUT} missing — nothing to check against")
+            return 1
+        committed = json.loads(OUTPUT.read_text())
+        print(f"trajectory check vs {OUTPUT}:")
+        regressions = check_against(committed, payload)
+        if regressions:
+            print(
+                f"bench check: FAILED ({regressions} regression(s); "
+                f"if intended, refresh with `python {Path(__file__).name}`)"
+            )
+            return 1
+        print("bench check: ok")
+        return 0
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {OUTPUT}")
     return 0

@@ -145,6 +145,8 @@ _CHECK_DESCRIPTIONS = {
                  "declarative protocol transition table",
     "trace": "axiomatic trace conformance (litmus matrix + smoke runs)",
     "layout": "static memory-layout lint of the bundled apps",
+    "chaos": "crash-tolerance drill: SIGKILL pool workers mid-sweep, "
+             "corrupt the journal tail, resume, verify bit-identity",
 }
 
 _CHECKS = tuple(_CHECK_DESCRIPTIONS)
@@ -520,6 +522,12 @@ def run_check(
         if not ok:
             fail("layout")
 
+    if "chaos" in checks:
+        from repro.experiments.chaos import run_chaos_check
+
+        if run_chaos_check(verbose=verbose):
+            fail("chaos")
+
     if failed:
         print(f"check: FAILED ({', '.join(failed)})")
         return 1
@@ -567,6 +575,8 @@ def select_checks(args) -> List[str]:
         selected.append("trace")
     if args.layout_lint:
         selected.append("layout")
+    if args.chaos:
+        selected.append("chaos")
     if args.all_checks:
         checks = list(_CHECKS)
         checks.extend(c for c in selected if c not in checks)
@@ -578,6 +588,93 @@ def select_checks(args) -> List[str]:
     if selected:
         return selected
     return list(_DEFAULT_CHECKS)
+
+
+#: Artifact targets a sweep can enumerate simulation points for
+#: (``table1`` is latency probes, not program runs).
+_SWEEP_TARGETS = ("table2", "fig2", "fig3", "fig4", "fig5", "fig6", "summary")
+
+
+def run_sweep_command(args, parser) -> int:
+    """The ``repro-1991 sweep`` subcommand: journaled, supervised,
+    resumable sweep execution.  A fresh run journals its full point list
+    up front and every outcome as it lands; SIGINT/SIGTERM drain
+    in-flight points, flush the journal, and print the exact
+    ``--resume`` command.  Exit status: 0 all points ok, 1 any point
+    failed or quarantined, 130 interrupted (resumable)."""
+    from repro.experiments.journal import resolve_journal_dir
+    from repro.experiments.parallel import sweep_points_for
+    from repro.experiments.resultcache import ResultCache, resolve_cache_dir
+    from repro.experiments.supervisor import ExperimentSupervisor
+    from repro.experiments.sweepservice import (
+        ServiceControl,
+        ServicePolicy,
+        SweepService,
+        resume_command,
+    )
+    from repro.faults import Watchdog
+
+    journal_dir = resolve_journal_dir(args.journal_dir)
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    control = ServiceControl()
+    service = SweepService(
+        journal_dir,
+        cache=cache,
+        policy=ServicePolicy(hang_timeout_s=args.hang_timeout),
+        control=control,
+        verbose=args.verbose,
+    )
+    watchdog_factory = None
+    if args.hang_timeout is not None:
+        # Smoke-scale apps fire too few events for the default 250k
+        # heartbeat interval; a tight interval keeps the liveness files
+        # fresh so a slow-but-alive pool is never mistaken for a hang.
+        watchdog_factory = lambda: Watchdog(heartbeat_every=2000)  # noqa: E731
+    supervisor = ExperimentSupervisor(
+        watchdog_factory=watchdog_factory, verbose=args.verbose
+    )
+
+    with control.handle_signals():
+        if args.resume:
+            run_id = args.resume
+            try:
+                report = service.resume(
+                    run_id, supervisor=supervisor, jobs=args.jobs
+                )
+            except (FileNotFoundError, ValueError) as exc:
+                parser.error(str(exc))
+        else:
+            names = [t.strip() for t in args.targets.split(",") if t.strip()]
+            if names == ["all"]:
+                names = list(_SWEEP_TARGETS)
+            unknown = [t for t in names if t not in _SWEEP_TARGETS]
+            if unknown:
+                parser.error(
+                    f"unknown sweep targets: {', '.join(unknown)} "
+                    f"(choose from {', '.join(_SWEEP_TARGETS)}, or 'all')"
+                )
+            runner = ExperimentRunner(
+                scale=args.scale,
+                verbose=args.verbose,
+                seed=args.seed,
+                max_events=args.max_events,
+            )
+            points = sweep_points_for(names, runner)
+            if not points:
+                parser.error("the selected targets produce no sweep points")
+            run_id, report = service.start(
+                "sweep:" + ",".join(names), points,
+                supervisor=supervisor, jobs=args.jobs,
+            )
+
+    print(report.format())
+    print(service.cache.stats_line())
+    print(f"run id: {run_id} (journal: {journal_dir})")
+    if report.interrupted:
+        print(f"interrupted — resume with: {resume_command(journal_dir, run_id)}")
+        return 130
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -592,10 +689,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "what",
         choices=["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
-                 "summary", "all", "check"],
-        help="which artifact to regenerate, or 'check' to run the "
+                 "summary", "all", "check", "sweep"],
+        help="which artifact to regenerate, 'check' to run the "
              "analysis suite (lint, races, litmus, invariants, plus the "
-             "static passes: model, lockorder, srclint, trace, layout)",
+             "static passes: model, lockorder, srclint, trace, layout, "
+             "chaos), or 'sweep' to run a journaled, crash-tolerant, "
+             "resumable sweep of the targets' simulation points",
     )
     parser.add_argument(
         "--scale",
@@ -627,6 +726,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["MP3D", "LU", "PTHOR", "all"],
         default="all",
         help="application(s) for the 'check' subcommand",
+    )
+    parser.add_argument(
+        "--targets",
+        default="summary",
+        metavar="T1,T2",
+        help="for 'sweep': comma-separated artifact targets whose "
+             "simulation points make up the sweep (table2, fig2..fig6, "
+             "summary, or 'all'; default: summary)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="for 'sweep': continue the interrupted run RUN_ID from its "
+             "journal instead of starting a fresh sweep (the exact "
+             "command is printed when a sweep is interrupted)",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="for 'sweep': directory holding run journals and the "
+             "default result cache (default: $REPRO_JOURNAL_DIR, else "
+             ".repro/journal)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="for 'sweep': declare the worker pool hung after S seconds "
+             "with no completion and no worker heartbeat, then restart "
+             "it and retry the lost points (default: disabled)",
     )
     parser.add_argument(
         "--checks",
@@ -714,6 +846,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="cache the canonical table fingerprint at PATH: written "
              "when absent, compared when present (mismatch fails the "
              "check — CI's fast table-diff detector)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="crash-tolerance drill: run a tiny journaled sweep whose "
+             "points SIGKILL their own pool workers, interrupt it, "
+             "corrupt the journal tail, resume, and verify the resumed "
+             "payload digests are bit-identical to an uninterrupted "
+             "serial run (the poison point must end up quarantined)",
     )
     parser.add_argument(
         "--layout-lint",
@@ -826,14 +967,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             proto_fingerprint=args.proto_fingerprint,
         )
 
-    runner = ExperimentRunner(
-        scale=args.scale,
-        verbose=args.verbose,
-        seed=args.seed,
-        max_events=args.max_events,
-        cache_dir=args.cache_dir,
-        jobs=args.jobs,
-    )
+    from repro.experiments.parallel import JobsError
+
+    if args.what == "sweep":
+        try:
+            return run_sweep_command(args, parser)
+        except JobsError as exc:
+            parser.error(str(exc))
+
+    try:
+        runner = ExperimentRunner(
+            scale=args.scale,
+            verbose=args.verbose,
+            seed=args.seed,
+            max_events=args.max_events,
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+        )
+    except JobsError as exc:
+        parser.error(str(exc))
     targets = (
         ["table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "summary"]
         if args.what == "all"

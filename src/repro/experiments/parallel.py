@@ -23,16 +23,14 @@ changes *where* each point runs.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig, dash_scaled_config
 from repro.experiments.registry import APP_NAMES, build_app
 from repro.experiments.resultcache import (
     ResultCache,
     canonical_result_bytes,
-    result_from_bytes,
     timed,
 )
 from repro.experiments.supervisor import (
@@ -49,12 +47,37 @@ from repro.system import SimulationResult, run_program
 JOBS_ENV = "REPRO_JOBS"
 
 
+class JobsError(ValueError):
+    """A job count that cannot drive a process pool (``--jobs 0``,
+    ``REPRO_JOBS=banana``) — rejected loudly instead of being silently
+    clamped or handed to :class:`~concurrent.futures.ProcessPoolExecutor`
+    as garbage."""
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Explicit job count, else ``REPRO_JOBS``, else 1 (serial)."""
+    """Explicit job count, else ``REPRO_JOBS``, else 1 (serial).
+
+    Raises :class:`JobsError` on a non-integer or non-positive count,
+    naming the offending source (flag vs environment variable) so the
+    CLI can surface it as a clean usage error.
+    """
+    source = "--jobs"
     if jobs is None:
         raw = os.environ.get(JOBS_ENV, "").strip()
-        jobs = int(raw) if raw else 1
-    return max(1, int(jobs))
+        if not raw:
+            return 1
+        source = JOBS_ENV
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise JobsError(
+                f"{source} must be a positive integer, got {raw!r}"
+            ) from None
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise JobsError(f"{source} must be a positive integer, got {jobs!r}")
+    if jobs <= 0:
+        raise JobsError(f"{source} must be >= 1, got {jobs}")
+    return jobs
 
 
 @dataclass(frozen=True)
@@ -68,6 +91,12 @@ class SweepPoint:
     scale: str = "default"
     prefetching: bool = False
     config: Optional[MachineConfig] = None
+    #: Test-only misbehaviour spec executed *in the worker* before the
+    #: simulation runs (``"sigkill"``, ``"hang:<s>"``, ...; see
+    #: :mod:`repro.experiments.chaos`).  ``None`` in production.  Not
+    #: part of the cache/journal fingerprint: chaos changes how a point
+    #: executes, never what it measures.
+    chaos: Optional[str] = None
 
     def resolved_config(self) -> MachineConfig:
         return self.config if self.config is not None else dash_scaled_config()
@@ -77,6 +106,21 @@ def run_point(point: SweepPoint, watchdog: Optional[Watchdog] = None) -> Simulat
     """Build and run one sweep point (in whichever process calls it)."""
     program = build_app(point.app, point.scale, point.prefetching)
     return run_program(program, point.resolved_config(), watchdog=watchdog)
+
+
+@dataclass(frozen=True)
+class WorkerTask:
+    """Everything shipped *to* a worker process for one point (picklable
+    by design — the supervisor's closures cannot cross the boundary)."""
+
+    index: int
+    point: SweepPoint
+    wall_limit: Optional[float] = None
+    max_attempts: int = 2
+    heartbeat_every: int = 250_000
+    #: Directory the worker publishes liveness heartbeats into (one file
+    #: per worker pid); ``None`` disables publication.
+    heartbeat_dir: Optional[str] = None
 
 
 @dataclass
@@ -91,41 +135,81 @@ class _PointOutcome:
     error: Optional[str]
 
 
-def _execute_point_in_worker(args: Tuple[int, SweepPoint, Optional[float], int]) -> _PointOutcome:
+def _worker_heartbeat_path(heartbeat_dir: Optional[str]) -> Optional[str]:
+    return (
+        os.path.join(heartbeat_dir, f"worker-{os.getpid()}.hb")
+        if heartbeat_dir
+        else None
+    )
+
+
+def _execute_point_in_worker(task: WorkerTask) -> _PointOutcome:
     """Worker-side mirror of ``ExperimentSupervisor._run_one``: crash
     isolation via try/except, transient failures retried (degraded on
     the second attempt), wall-clock watchdog per attempt.  Always
-    *returns* — an exception never crosses the pool boundary."""
-    index, point, wall_limit, max_attempts = args
+    *returns* — an exception never crosses the pool boundary — except
+    for chaos-injected SIGKILLs, whose whole point is not returning.
+
+    ``KeyboardInterrupt``/``SystemExit`` are reported as a distinct
+    ``interrupted`` outcome (never folded into ``fail``), so graceful
+    shutdown can tell "user cancelled" from "point crashed"."""
+    point = task.point
+    heartbeat_path = _worker_heartbeat_path(task.heartbeat_dir)
+    if heartbeat_path is not None:
+        # Initial liveness touch: a worker that is still *loading* a
+        # point must not read as hung before its first engine heartbeat.
+        from repro.faults.watchdog import Heartbeat, write_heartbeat_file
+
+        write_heartbeat_file(heartbeat_path, Heartbeat(0, 0, 0.0))
     start = timed()
     error: Optional[str] = None
     attempt = 0
-    for attempt in range(1, max_attempts + 1):
-        watchdog = (
-            Watchdog(wall_clock_limit_s=wall_limit) if wall_limit is not None else None
-        )
-        try:
-            result = run_point(point, watchdog=watchdog)
-        except TRANSIENT_ERRORS as exc:
-            error = f"{type(exc).__name__}: {exc}"
-            continue  # transient: worth one more attempt
-        except Exception as exc:  # crash isolation: report, don't raise  # srclint: ok(swallow-simulation-error)
-            error = f"{type(exc).__name__}: {exc}"
-            break
+    try:
+        if point.chaos:
+            from repro.experiments.chaos import inject_chaos
+
+            inject_chaos(point.chaos)
+        for attempt in range(1, task.max_attempts + 1):
+            watchdog = (
+                Watchdog(
+                    wall_clock_limit_s=task.wall_limit,
+                    heartbeat_every=task.heartbeat_every,
+                    heartbeat_path=heartbeat_path,
+                )
+                if task.wall_limit is not None or heartbeat_path is not None
+                else None
+            )
+            try:
+                result = run_point(point, watchdog=watchdog)
+            except TRANSIENT_ERRORS as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                continue  # transient: worth one more attempt
+            except Exception as exc:  # crash isolation: report, don't raise  # srclint: ok(swallow-simulation-error)
+                error = f"{type(exc).__name__}: {exc}"
+                break
+            return _PointOutcome(
+                index=task.index,
+                status=ConfigStatus.PASSED.value
+                if attempt == 1
+                else ConfigStatus.DEGRADED.value,
+                attempts=attempt,
+                wall_seconds=timed() - start,
+                payload=canonical_result_bytes(result),
+                error=error if attempt > 1 else None,
+            )
+    except (KeyboardInterrupt, SystemExit) as exc:
         return _PointOutcome(
-            index=index,
-            status=ConfigStatus.PASSED.value
-            if attempt == 1
-            else ConfigStatus.DEGRADED.value,
-            attempts=attempt,
+            index=task.index,
+            status=ConfigStatus.INTERRUPTED.value,
+            attempts=max(attempt, 1),
             wall_seconds=timed() - start,
-            payload=canonical_result_bytes(result),
-            error=error if attempt > 1 else None,
+            payload=None,
+            error=f"{type(exc).__name__}: worker cancelled mid-point",
         )
     return _PointOutcome(
-        index=index,
+        index=task.index,
         status=ConfigStatus.FAILED.value,
-        attempts=min(attempt, max_attempts) if attempt else max_attempts,
+        attempts=min(attempt, task.max_attempts) if attempt else task.max_attempts,
         wall_seconds=timed() - start,
         payload=None,
         error=error,
@@ -136,10 +220,22 @@ def _watchdog_wall_limit(supervisor: ExperimentSupervisor) -> Optional[float]:
     """Extract the wall-clock budget the supervisor's watchdog factory
     would grant, so worker processes can arm an equivalent watchdog
     (the factory itself is usually a closure and cannot be pickled)."""
+    return _watchdog_params(supervisor)[0]
+
+
+def _watchdog_params(
+    supervisor: ExperimentSupervisor,
+) -> Tuple[Optional[float], int]:
+    """``(wall_clock_limit_s, heartbeat_every)`` the supervisor's
+    watchdog factory would grant, probed once so equivalent watchdogs
+    can be armed on the far side of the pool boundary."""
     if supervisor.watchdog_factory is None:
-        return None
+        return None, 250_000
     probe = supervisor.watchdog_factory()
-    return getattr(probe, "wall_clock_limit_s", None)
+    return (
+        getattr(probe, "wall_clock_limit_s", None),
+        getattr(probe, "heartbeat_every", 250_000),
+    )
 
 
 def execute_sweep_points(
@@ -148,14 +244,35 @@ def execute_sweep_points(
     points: Sequence[SweepPoint],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    policy=None,
+    control=None,
+    on_entry: Optional[Callable[[int, SweepPoint, SweepEntry], None]] = None,
+    on_incident: Optional[Callable[[str, List[int], str], None]] = None,
 ) -> SweepReport:
     """Run ``points`` under ``supervisor`` semantics, with optional
     process-pool fan-out and result-cache short-circuiting.  The report
-    preserves the order of ``points`` regardless of completion order."""
+    preserves the order of ``points`` regardless of completion order.
+
+    The pool path is *supervised* (see
+    :class:`~repro.experiments.sweepservice.PoolSupervisor`): killed or
+    hung workers are detected, the pool is restarted, lost points are
+    retried under ``policy``'s budget, and repeat offenders are
+    quarantined instead of aborting the sweep.  ``control`` (a
+    :class:`~repro.experiments.sweepservice.ServiceControl`) makes the
+    run stoppable: on a stop request, in-flight points drain and the
+    rest are reported ``interrupted``.  ``on_entry`` fires once per
+    produced entry *as it completes* (sweep index, point, entry) and
+    ``on_incident`` once per supervision incident (kind, suspect
+    indices, detail) — the journaling hooks."""
     jobs = resolve_jobs(jobs)
     entries: List[Optional[SweepEntry]] = [None] * len(points)
-    pending: List[Tuple[int, SweepPoint, Optional[str]]] = []
 
+    def emit(index: int, point: SweepPoint, entry: SweepEntry) -> None:
+        entries[index] = entry
+        if on_entry is not None:
+            on_entry(index, point, entry)
+
+    pending: List[Tuple[int, SweepPoint, Optional[str]]] = []
     for index, point in enumerate(points):
         key = None
         if cache is not None:
@@ -165,22 +282,52 @@ def execute_sweep_points(
             start = timed()
             cached = cache.load(key)
             if cached is not None:
-                entries[index] = SweepEntry(
-                    name=point.name,
-                    status=ConfigStatus.PASSED,
-                    attempts=0,
-                    wall_seconds=timed() - start,
-                    result=cached.result,
-                    cache_hit=True,
+                emit(
+                    index,
+                    point,
+                    SweepEntry(
+                        name=point.name,
+                        status=ConfigStatus.PASSED,
+                        attempts=0,
+                        wall_seconds=timed() - start,
+                        result=cached.result,
+                        cache_hit=True,
+                    ),
                 )
                 continue
         pending.append((index, point, key))
 
     if jobs == 1 or len(pending) <= 1:
         for index, point, key in pending:
-            entries[index] = _run_point_serial(supervisor, point, key, cache)
+            if control is not None and control.stop_requested:
+                emit(index, point, _interrupted_entry(point))
+                continue
+            emit(index, point, _run_point_serial(supervisor, point, key, cache))
+            if control is not None:
+                control.note_entry()
     else:
-        _run_points_pool(supervisor, pending, entries, jobs, cache)
+        from repro.experiments.sweepservice import PoolSupervisor
+
+        wall_limit, heartbeat_every = _watchdog_params(supervisor)
+        keys = {index: key for index, _, key in pending}
+
+        def pool_emit(index: int, point: SweepPoint, entry: SweepEntry) -> None:
+            if cache is not None:
+                if entry.cache_hit is None:
+                    entry.cache_hit = False
+                if entry.ok and isinstance(entry.result, SimulationResult):
+                    cache.store(keys[index], entry.result, entry.wall_seconds)
+            emit(index, point, entry)
+
+        PoolSupervisor(
+            jobs=jobs,
+            max_attempts=supervisor.max_attempts,
+            wall_limit=wall_limit,
+            heartbeat_every=heartbeat_every,
+            policy=policy,
+            control=control,
+            on_incident=on_incident,
+        ).run([(index, point) for index, point, _ in pending], pool_emit)
 
     report = SweepReport(name=name)
     report.entries = [entry for entry in entries if entry is not None]
@@ -189,6 +336,16 @@ def execute_sweep_points(
             suffix = " [cached]" if entry.cache_hit else ""
             print(f"  [{entry.status.value}] {entry.name}{suffix}")
     return report
+
+
+def _interrupted_entry(point: SweepPoint) -> SweepEntry:
+    return SweepEntry(
+        name=point.name,
+        status=ConfigStatus.INTERRUPTED,
+        attempts=0,
+        wall_seconds=0.0,
+        error="interrupted before completion (resume to finish)",
+    )
 
 
 def _run_point_serial(
@@ -207,59 +364,6 @@ def _run_point_serial(
         if entry.ok and isinstance(entry.result, SimulationResult):
             cache.store(key, entry.result, entry.wall_seconds)
     return entry
-
-
-def _run_points_pool(
-    supervisor: ExperimentSupervisor,
-    pending: Sequence[Tuple[int, SweepPoint, Optional[str]]],
-    entries: List[Optional[SweepEntry]],
-    jobs: int,
-    cache: Optional[ResultCache],
-) -> None:
-    """Fan pending points out over a process pool, decode the canonical
-    payloads shipped back, and slot entries by original sweep index."""
-    wall_limit = _watchdog_wall_limit(supervisor)
-    keys = {index: key for index, _, key in pending}
-    names = {index: point.name for index, point, _ in pending}
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-        futures = [
-            pool.submit(
-                _execute_point_in_worker,
-                (index, point, wall_limit, supervisor.max_attempts),
-            )
-            for index, point, _ in pending
-        ]
-        for position, future in enumerate(futures):
-            try:
-                outcome = future.result()
-            except Exception as exc:  # a worker died (OOM, signal): isolate it  # srclint: ok(swallow-simulation-error)
-                index = pending[position][0]
-                entries[index] = SweepEntry(
-                    name=names[index],
-                    status=ConfigStatus.FAILED,
-                    attempts=1,
-                    wall_seconds=0.0,
-                    error=f"{type(exc).__name__}: {exc}",
-                    cache_hit=False if cache is not None else None,
-                )
-                continue
-            result = (
-                result_from_bytes(outcome.payload)
-                if outcome.payload is not None
-                else None
-            )
-            entry = SweepEntry(
-                name=names[outcome.index],
-                status=ConfigStatus(outcome.status),
-                attempts=outcome.attempts,
-                wall_seconds=outcome.wall_seconds,
-                result=result,
-                error=outcome.error,
-                cache_hit=False if cache is not None else None,
-            )
-            entries[outcome.index] = entry
-            if cache is not None and entry.ok and result is not None:
-                cache.store(keys[outcome.index], result, entry.wall_seconds)
 
 
 # -- sweep-point enumeration for the CLI and benchmarks -----------------------

@@ -30,6 +30,7 @@ import json
 import os
 import tempfile
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Type, Union
@@ -195,6 +196,13 @@ class ResultCache:
     One JSON file per fingerprint, written atomically (temp file +
     rename) so a crashed writer never leaves a half-entry that poisons
     later runs: unparsable or digest-mismatched files read as misses.
+
+    Concurrent writers (a supervised sweep's pool restarts can overlap
+    a retry with a straggler finishing the same point) are serialized
+    through an advisory ``flock`` on a sidecar lockfile where the
+    platform supports it; the temp-file + rename protocol keeps the
+    cache corruption-free even without the lock, so the lock only
+    prevents redundant simultaneous writes, never guards correctness.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -252,19 +260,20 @@ class ResultCache:
             "result": payload,
         }
         data = json.dumps(wrapper, sort_keys=True).encode("utf-8")
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp_name, self.path_for(key))
-        except BaseException:
+        with _entry_lock(self.root, key):
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp_name, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         self.stores += 1
         return blob
 
@@ -277,6 +286,37 @@ class ResultCache:
             f"result cache {self.root}: {self.hits} hits, "
             f"{self.misses} misses, {self.stores} stored"
         )
+
+
+@contextmanager
+def _entry_lock(root: Path, key: str):
+    """Advisory per-entry write lock (``flock`` on a sidecar file).
+
+    Best-effort by design: on platforms without ``fcntl`` (or when the
+    lockfile cannot be created) writers fall back to unlocked atomic
+    rename, which is already corruption-safe — last writer wins with a
+    bit-identical payload, since the key is a content address.
+    """
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX: atomic rename alone is enough
+        yield
+        return
+    lock_path = root / f".lock-{key}"
+    try:
+        fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR)
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        os.close(fd)
 
 
 def resolve_cache_dir(cache_dir: Optional[Union[str, Path]]) -> Optional[Path]:

@@ -39,6 +39,17 @@ class ConfigStatus(enum.Enum):
     PASSED = "pass"
     DEGRADED = "degraded"  # completed, but only on a retry attempt
     FAILED = "fail"
+    #: The point's execution repeatedly killed pool workers (SIGKILL,
+    #: OOM, hard hang); it is fenced off so the sweep can finish.
+    QUARANTINED = "quarantined"
+    #: Execution was cut short by the user (SIGINT/SIGTERM or a
+    #: worker-side KeyboardInterrupt) — not a crash, resumable.
+    INTERRUPTED = "interrupted"
+
+
+#: Statuses that mean "this point will never produce a result in this
+#: run" for reasons other than user cancellation.
+_NOT_OK = (ConfigStatus.FAILED, ConfigStatus.QUARANTINED, ConfigStatus.INTERRUPTED)
 
 
 @dataclass
@@ -55,10 +66,13 @@ class SweepEntry:
     #: ``False``: ran with a cache configured (a miss); ``None``: no
     #: cache was in play for this sweep.
     cache_hit: Optional[bool] = None
+    #: ``True``: restored from a run journal by ``--resume`` instead of
+    #: (re-)executing the point in this invocation.
+    restored: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.status is not ConfigStatus.FAILED
+        return self.status not in _NOT_OK
 
 
 @dataclass
@@ -84,9 +98,22 @@ class SweepReport:
         return self._with_status(ConfigStatus.FAILED)
 
     @property
+    def quarantined(self) -> List[SweepEntry]:
+        return self._with_status(ConfigStatus.QUARANTINED)
+
+    @property
+    def interrupted(self) -> List[SweepEntry]:
+        return self._with_status(ConfigStatus.INTERRUPTED)
+
+    @property
+    def restored(self) -> List[SweepEntry]:
+        """Entries restored from a run journal rather than executed."""
+        return [e for e in self.entries if e.restored]
+
+    @property
     def ok(self) -> bool:
         """True when every configuration completed (possibly degraded)."""
-        return not self.failed
+        return not (self.failed or self.quarantined or self.interrupted)
 
     @property
     def cache_hits(self) -> int:
@@ -102,12 +129,27 @@ class SweepReport:
         """Results of the configurations that completed, sweep order."""
         return [e.result for e in self.entries if e.ok]
 
-    def format(self) -> str:
-        header = (
-            f"sweep {self.name!r}: {len(self.passed)} passed, "
-            f"{len(self.degraded)} degraded, {len(self.failed)} failed "
-            f"of {len(self.entries)} configurations"
+    def stats_line(self) -> str:
+        """One-line status roll-up (the sweep service's progress line)."""
+        parts = [
+            f"{len(self.passed)} passed",
+            f"{len(self.degraded)} degraded",
+            f"{len(self.failed)} failed",
+        ]
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        if self.interrupted:
+            parts.append(f"{len(self.interrupted)} interrupted")
+        line = (
+            f"sweep {self.name!r}: " + ", ".join(parts)
+            + f" of {len(self.entries)} configurations"
         )
+        if self.restored:
+            line += f" ({len(self.restored)} restored from journal)"
+        return line
+
+    def format(self) -> str:
+        header = self.stats_line()
         if any(e.cache_hit is not None for e in self.entries):
             header += (
                 f"; cache: {self.cache_hits} hits, "
@@ -121,7 +163,9 @@ class SweepReport:
                 f"{'s' if entry.attempts != 1 else ''}, "
                 f"{entry.wall_seconds:.2f}s)"
             )
-            if entry.cache_hit:
+            if entry.restored:
+                line += " [restored]"
+            elif entry.cache_hit:
                 line += " [cached]"
             if entry.error:
                 first = entry.error.splitlines()[0]

@@ -14,7 +14,13 @@ The package has three pieces:
 
 from repro.faults.injector import FaultInjector, FaultStats, RetryBudgetExceeded
 from repro.faults.plan import BackoffPolicy, FaultPlan
-from repro.faults.watchdog import Heartbeat, Watchdog, WatchdogTimeout
+from repro.faults.watchdog import (
+    Heartbeat,
+    Watchdog,
+    WatchdogTimeout,
+    read_heartbeat_file,
+    write_heartbeat_file,
+)
 
 __all__ = [
     "BackoffPolicy",
@@ -25,4 +31,6 @@ __all__ = [
     "RetryBudgetExceeded",
     "Watchdog",
     "WatchdogTimeout",
+    "read_heartbeat_file",
+    "write_heartbeat_file",
 ]

@@ -17,10 +17,12 @@ events without advancing simulated time, a hang does neither.
 
 from __future__ import annotations
 
+import os
 import time as _time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional
+from pathlib import Path
+from typing import Callable, Deque, Optional, Union
 
 from repro.sim.engine import EventEngine, SimulationError
 
@@ -44,6 +46,40 @@ class Heartbeat:
         )
 
 
+def write_heartbeat_file(path: Union[str, Path], beat: Heartbeat) -> None:
+    """Publish one heartbeat to ``path`` for out-of-process observers.
+
+    Written via a sibling temp file + :func:`os.replace` so a reader can
+    never observe a torn record; the file's mtime doubles as the
+    liveness signal (a worker that stops firing events stops refreshing
+    it).  Best-effort: I/O failures must never abort the watched run.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(
+            f"{beat.events} {beat.sim_time} {beat.wall_seconds:.3f}\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def read_heartbeat_file(path: Union[str, Path]) -> Optional[Heartbeat]:
+    """Parse a heartbeat published by :func:`write_heartbeat_file`
+    (``None`` when absent, torn, or unreadable)."""
+    try:
+        fields = Path(path).read_text(encoding="utf-8").split()
+        return Heartbeat(
+            events=int(fields[0]),
+            sim_time=int(fields[1]),
+            wall_seconds=float(fields[2]),
+        )
+    except (OSError, ValueError, IndexError):
+        return None
+
+
 class Watchdog:
     """Aborts runs that stop making wall-clock progress."""
 
@@ -54,6 +90,7 @@ class Watchdog:
         on_heartbeat: Optional[Callable[[Heartbeat], None]] = None,
         clock: Callable[[], float] = _time.monotonic,
         trail_depth: int = 16,
+        heartbeat_path: Optional[Union[str, Path]] = None,
     ) -> None:
         if wall_clock_limit_s is not None and wall_clock_limit_s < 0:
             raise ValueError("wall-clock limit must be nonnegative")
@@ -64,6 +101,10 @@ class Watchdog:
         self.on_heartbeat = on_heartbeat
         self.clock = clock
         self.heartbeats: Deque[Heartbeat] = deque(maxlen=trail_depth)
+        #: When set, every heartbeat is also published to this file so
+        #: an out-of-process supervisor can tell a hung worker (stale
+        #: file) from a slow-but-progressing one (fresh file).
+        self.heartbeat_path = Path(heartbeat_path) if heartbeat_path else None
         self._started_at: Optional[float] = None
 
     def attach(self, engine: EventEngine) -> "Watchdog":
@@ -90,6 +131,8 @@ class Watchdog:
             wall_seconds=self.clock() - self._started_at,
         )
         self.heartbeats.append(beat)
+        if self.heartbeat_path is not None:
+            write_heartbeat_file(self.heartbeat_path, beat)
         if self.on_heartbeat is not None:
             self.on_heartbeat(beat)
         limit = self.wall_clock_limit_s

@@ -250,7 +250,8 @@ def _check_args(**overrides):
     defaults = dict(
         faults="none", model_check=False, lock_order=False, lint_src=False,
         proto_lint=False, proto_mutate=None, trace_check=False,
-        trace_mutate=None, layout_lint=False, all_checks=False, checks=None,
+        trace_mutate=None, layout_lint=False, chaos=False, all_checks=False,
+        checks=None,
     )
     defaults.update(overrides)
     return argparse.Namespace(**defaults)

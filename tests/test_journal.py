@@ -1,0 +1,175 @@
+"""Unit tests for the run journal: durability format, corruption
+tolerance, and the restore bookkeeping the sweep service builds on.
+
+No simulations run here — the journal is pure bookkeeping, so these
+tests exercise it directly with synthetic records.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.journal import (
+    JOURNAL_FORMAT,
+    RunJournal,
+    new_run_id,
+    resolve_journal_dir,
+)
+
+
+def _make_journal(tmp_path, run_id="abc123", points=2):
+    specs = [
+        {"index": i, "key": f"k{i}", "name": f"p{i}", "app": "LU",
+         "scale": "smoke", "prefetching": False, "config": None,
+         "chaos": None}
+        for i in range(points)
+    ]
+    return RunJournal.create(tmp_path, run_id, "unit", specs)
+
+
+class TestRoundTrip:
+    def test_meta_and_points_replay(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.record_point(
+            index=0, key="k0", name="p0", status="pass", attempts=1,
+            wall_seconds=0.5, payload_sha256="d" * 64,
+        )
+        journal.record_incident("worker-crash", [1], "boom")
+        journal.close("interrupted")
+
+        state = RunJournal.load(journal.path)
+        assert state.run_id == "abc123"
+        assert state.meta["name"] == "unit"
+        assert state.meta["format"] == JOURNAL_FORMAT
+        assert len(state.meta["points"]) == 2
+        assert state.points[0]["status"] == "pass"
+        assert state.points[0]["payload_sha256"] == "d" * 64
+        assert state.incidents[0]["kind"] == "worker-crash"
+        assert state.dropped_lines == 0
+
+    def test_later_point_records_shadow_earlier_ones(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.record_point(
+            index=0, key="k0", name="p0", status="interrupted",
+            attempts=0, wall_seconds=0.0,
+        )
+        journal.record_point(
+            index=0, key="k0", name="p0", status="pass", attempts=1,
+            wall_seconds=0.3, payload_sha256="e" * 64,
+        )
+        state = RunJournal.load(journal.path)
+        assert state.points[0]["status"] == "pass"
+        assert state.completed_indices() == [0]
+
+    def test_completed_indices_are_terminal_only(self, tmp_path):
+        journal = _make_journal(tmp_path, points=4)
+        for index, status in enumerate(
+            ("pass", "fail", "quarantined", "interrupted")
+        ):
+            journal.record_point(
+                index=index, key=f"k{index}", name=f"p{index}",
+                status=status, attempts=1, wall_seconds=0.0,
+            )
+        state = RunJournal.load(journal.path)
+        # fail and interrupted re-run on resume; pass/quarantined do not.
+        assert state.completed_indices() == [0, 2]
+
+
+class TestCorruptionTolerance:
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.record_point(
+            index=0, key="k0", name="p0", status="pass", attempts=1,
+            wall_seconds=0.1, payload_sha256="a" * 64,
+        )
+        with open(journal.path, "ab") as fh:
+            fh.write(b'{"record": {"type": "point", "ind')  # torn write
+        state = RunJournal.load(journal.path)
+        assert state.points[0]["status"] == "pass"
+        assert state.dropped_lines == 1
+
+    def test_binary_garbage_tail_is_dropped(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        with open(journal.path, "ab") as fh:
+            fh.write(b"\x00\xff\xfe not json at all\n\x01\x02\n")
+        state = RunJournal.load(journal.path)
+        assert state.meta is not None
+        assert state.dropped_lines == 2
+
+    def test_bit_flip_fails_the_line_digest(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.record_point(
+            index=0, key="k0", name="p0", status="pass", attempts=1,
+            wall_seconds=0.1, payload_sha256="a" * 64,
+        )
+        lines = journal.path.read_bytes().splitlines()
+        # Flip the recorded status inside the *valid* JSON of the last
+        # line: still parses, but no longer matches its digest.
+        doctored = lines[-1].replace(b'"status":"pass"', b'"status":"fail"')
+        assert doctored != lines[-1]
+        journal.path.write_bytes(b"\n".join(lines[:-1] + [doctored]) + b"\n")
+        state = RunJournal.load(journal.path)
+        assert 0 not in state.points  # the lying record was dropped
+        assert state.dropped_lines == 1
+
+    def test_interior_corruption_keeps_later_records(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.record_point(
+            index=0, key="k0", name="p0", status="pass", attempts=1,
+            wall_seconds=0.1, payload_sha256="a" * 64,
+        )
+        journal.record_point(
+            index=1, key="k1", name="p1", status="pass", attempts=1,
+            wall_seconds=0.1, payload_sha256="b" * 64,
+        )
+        lines = journal.path.read_bytes().splitlines()
+        lines[1] = b"garbage in the middle"
+        journal.path.write_bytes(b"\n".join(lines) + b"\n")
+        state = RunJournal.load(journal.path)
+        assert state.points[1]["status"] == "pass"
+        assert state.dropped_lines == 1
+
+    def test_unknown_record_types_are_ignored(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.append({"type": "from-the-future", "data": [1, 2, 3]})
+        state = RunJournal.load(journal.path)
+        assert state.dropped_lines == 0
+        assert state.meta is not None
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        state = RunJournal.load(tmp_path / "never-created.jsonl")
+        assert state.meta is None
+        assert state.points == {}
+
+
+class TestLifecycle:
+    def test_create_refuses_to_clobber(self, tmp_path):
+        _make_journal(tmp_path, run_id="dup")
+        with pytest.raises(FileExistsError):
+            _make_journal(tmp_path, run_id="dup")
+
+    def test_open_existing_requires_the_journal(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no journal for run"):
+            RunJournal.open_existing(tmp_path, "nope")
+
+    def test_run_ids_are_unique_and_filename_safe(self):
+        ids = {new_run_id() for _ in range(64)}
+        assert len(ids) == 64
+        for run_id in ids:
+            assert len(run_id) == 12
+            int(run_id, 16)  # hex only
+
+    def test_resolve_journal_dir_precedence(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_JOURNAL_DIR", raising=False)
+        assert str(resolve_journal_dir(None)) == ".repro/journal"
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "j"))
+        assert resolve_journal_dir(None) == tmp_path / "j"
+        assert resolve_journal_dir(tmp_path / "explicit") == tmp_path / "explicit"
+
+    def test_every_line_is_self_checksummed_json(self, tmp_path):
+        journal = _make_journal(tmp_path)
+        journal.record_incident("hang", [0], "stalled")
+        journal.close("complete")
+        for line in journal.path.read_bytes().splitlines():
+            wrapper = json.loads(line)
+            assert set(wrapper) == {"record", "sha256"}

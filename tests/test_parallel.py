@@ -18,7 +18,7 @@ from repro.experiments import (
     sweep_points_for,
 )
 from repro.experiments.figures import figure2
-from repro.experiments.parallel import resolve_jobs, run_point
+from repro.experiments.parallel import JobsError, resolve_jobs, run_point
 from repro.experiments.supervisor import ConfigStatus, ExperimentSupervisor
 from repro.faults import FaultPlan
 
@@ -194,9 +194,35 @@ class TestJobsResolution:
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert resolve_jobs(None) == 1
 
-    def test_floor_is_one(self):
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-4) == 1
+    def test_nonpositive_jobs_rejected(self):
+        with pytest.raises(JobsError, match=r"--jobs must be >= 1, got 0"):
+            resolve_jobs(0)
+        with pytest.raises(JobsError, match=r"--jobs must be >= 1"):
+            resolve_jobs(-4)
+
+    def test_non_integer_jobs_rejected(self):
+        with pytest.raises(JobsError, match=r"--jobs must be a positive integer"):
+            resolve_jobs(2.5)
+        with pytest.raises(JobsError, match=r"--jobs"):
+            resolve_jobs(True)  # bools are not job counts
+
+    def test_garbage_env_rejected_naming_the_source(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.raises(JobsError, match=r"REPRO_JOBS.*'banana'"):
+            resolve_jobs(None)
+
+    def test_nonpositive_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(JobsError, match=r"REPRO_JOBS must be >= 1"):
+            resolve_jobs(None)
+
+    def test_jobs_error_reaches_the_cli_as_a_usage_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summary", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
 
     def test_cache_dir_env_fallback(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "rc"))
@@ -238,3 +264,106 @@ def test_watchdog_limit_crosses_the_pool_boundary():
     )
     assert _watchdog_wall_limit(supervisor) == pytest.approx(42.0)
     assert _watchdog_wall_limit(ExperimentSupervisor()) is None
+
+
+def test_watchdog_params_cross_the_pool_boundary():
+    from repro.experiments.parallel import _watchdog_params
+    from repro.faults import Watchdog
+
+    supervisor = ExperimentSupervisor(
+        watchdog_factory=lambda: Watchdog(
+            wall_clock_limit_s=9.0, heartbeat_every=1234
+        )
+    )
+    assert _watchdog_params(supervisor) == (pytest.approx(9.0), 1234)
+    assert _watchdog_params(ExperimentSupervisor()) == (None, 250_000)
+
+
+def test_exhausted_wall_limit_fails_points_through_the_pool():
+    """A zero wall-clock budget trips the watchdog in every worker, so
+    each point comes back FAILED with the WatchdogTimeout named — the
+    supervisor's wall-limit semantics survive the pool boundary."""
+    from repro.faults import Watchdog
+
+    points = _mini_fig2_points(apps=("LU",))
+    supervisor = ExperimentSupervisor(
+        watchdog_factory=lambda: Watchdog(
+            wall_clock_limit_s=0.0, heartbeat_every=50
+        )
+    )
+    report = supervisor.run_sweep_points("starved", points, jobs=2)
+    assert len(report.entries) == len(points)
+    for entry in report.entries:
+        assert entry.status is ConfigStatus.FAILED
+        assert "WatchdogTimeout" in entry.error
+
+
+class TestWorkerOutcomes:
+    """Direct tests of the worker-side executor (run in-process)."""
+
+    @staticmethod
+    def _task(point, **kwargs):
+        from repro.experiments.parallel import WorkerTask
+
+        return WorkerTask(index=0, point=point, **kwargs)
+
+    def test_interrupt_is_a_distinct_outcome(self):
+        """KeyboardInterrupt in the worker must surface as
+        ``interrupted`` — never folded into ``fail`` — so graceful
+        shutdown can tell user cancellation from point crashes."""
+        from repro.experiments.parallel import _execute_point_in_worker
+
+        point = SweepPoint(
+            name="LU/interrupt", app="LU", scale="smoke",
+            config=dash_scaled_config(num_processors=2),
+            chaos="interrupt",
+        )
+        outcome = _execute_point_in_worker(self._task(point))
+        assert outcome.status == ConfigStatus.INTERRUPTED.value
+        assert outcome.payload is None
+        assert "cancelled mid-point" in outcome.error
+
+    def test_system_exit_is_a_distinct_outcome(self):
+        from repro.experiments.parallel import _execute_point_in_worker
+
+        point = SweepPoint(
+            name="boom", app="no-such-app", scale="smoke", chaos="exit"
+        )
+
+        import repro.experiments.chaos as chaos_mod
+
+        original = chaos_mod.inject_chaos
+        chaos_mod.inject_chaos = lambda spec: (_ for _ in ()).throw(SystemExit(3))
+        try:
+            outcome = _execute_point_in_worker(self._task(point))
+        finally:
+            chaos_mod.inject_chaos = original
+        assert outcome.status == ConfigStatus.INTERRUPTED.value
+        assert outcome.error.startswith("SystemExit")
+
+    def test_retry_exhaustion_reports_failed_with_attempt_count(self):
+        """Every attempt timing out (transient) ends FAILED with
+        ``attempts == max_attempts`` — the retry budget is visible, not
+        silently swallowed."""
+        from repro.experiments.parallel import _execute_point_in_worker
+
+        point = SweepPoint(
+            name="LU/starved", app="LU", scale="smoke",
+            config=dash_scaled_config(num_processors=2),
+        )
+        outcome = _execute_point_in_worker(
+            self._task(point, wall_limit=0.0, max_attempts=3, heartbeat_every=50)
+        )
+        assert outcome.status == ConfigStatus.FAILED.value
+        assert outcome.attempts == 3
+        assert outcome.payload is None
+        assert "WatchdogTimeout" in outcome.error
+
+    def test_non_transient_failure_does_not_burn_the_retry_budget(self):
+        from repro.experiments.parallel import _execute_point_in_worker
+
+        point = SweepPoint(name="bad", app="no-such-app", scale="smoke")
+        outcome = _execute_point_in_worker(self._task(point, max_attempts=3))
+        assert outcome.status == ConfigStatus.FAILED.value
+        assert outcome.attempts == 1
+        assert outcome.error
