@@ -7,13 +7,23 @@ the repository root.  The committed file is the measured trajectory
 later PRs compare against when touching hot paths; CI regenerates it
 and uploads the fresh copy as an artifact.
 
+Each payload carries a ``provenance`` block — git revision and
+timestamp (passed in by the bench driver via ``--git-rev`` /
+``--timestamp``, so the measurement itself stays free of wall-clock
+date reads; the revision falls back to ``git rev-parse`` when the flag
+is absent), plus the host name and core count — so a committed baseline
+can always be traced to the machine and commit that produced it.
+Provenance never participates in the regression comparison.
+
 ``--check`` is the trajectory guard: instead of overwriting the file,
 it compares the fresh measurement against the committed one and fails
 (exit 1) if any app's throughput dropped to less than half the
 committed events/sec — the "did this PR accidentally make the
-simulator 2x slower" tripwire.  Wall-clock noise between hosts is real,
-so the threshold is deliberately coarse; simulated event counts, which
-are deterministic, must match exactly.
+simulator 2x slower" tripwire.  It also prints a one-line trajectory
+delta (per-app throughput change vs the committed baseline and that
+baseline's provenance) for the CI log.  Wall-clock noise between hosts
+is real, so the threshold is deliberately coarse; simulated event
+counts, which are deterministic, must match exactly.
 
 Unlike the figure/table benchmarks in this directory, this is a plain
 script (``python benchmarks/bench_smoke.py``), not a pytest-benchmark
@@ -21,13 +31,16 @@ target: it measures the simulator engine itself, not a reproduction
 claim, and must stay runnable in a bare CI step with no plugins.
 
 Simulated quantities (events, pclocks) are deterministic; only the
-wall-clock fields vary between hosts.
+wall-clock fields and provenance vary between hosts.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -46,7 +59,32 @@ from repro.system import run_program  # noqa: E402
 OUTPUT = REPO_ROOT / "BENCH_smoke.json"
 
 
-def run_smoke_benchmarks() -> dict:
+def _detect_git_rev() -> str | None:
+    """Best-effort ``git rev-parse`` fallback when the driver passes no
+    ``--git-rev`` (never fails the benchmark)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def provenance(git_rev: str | None, timestamp: str | None) -> dict:
+    return {
+        "git_rev": git_rev if git_rev is not None else _detect_git_rev(),
+        "timestamp": timestamp,
+        "host": platform.node(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_smoke_benchmarks(
+    git_rev: str | None = None, timestamp: str | None = None
+) -> dict:
     config = dash_scaled_config(num_processors=SMOKE_PROCESSES)
     apps = {}
     for app in APP_NAMES:
@@ -70,6 +108,7 @@ def run_smoke_benchmarks() -> dict:
         "scale": "smoke",
         "processors": SMOKE_PROCESSES,
         "python": platform.python_version(),
+        "provenance": provenance(git_rev, timestamp),
         "apps": apps,
     }
 
@@ -79,11 +118,35 @@ def run_smoke_benchmarks() -> dict:
 REGRESSION_FACTOR = 2.0
 
 
+def trajectory_delta_line(committed: dict, fresh: dict) -> str:
+    """One-line per-app throughput delta vs the committed baseline,
+    with the baseline's provenance, for the CI log."""
+    deltas = []
+    for app, old in sorted(committed.get("apps", {}).items()):
+        new = fresh["apps"].get(app)
+        if new is None or not old.get("events_per_sec"):
+            deltas.append(f"{app} n/a")
+            continue
+        change = 100.0 * (
+            new["events_per_sec"] - old["events_per_sec"]
+        ) / old["events_per_sec"]
+        deltas.append(f"{app} {change:+.1f}%")
+    prov = committed.get("provenance", {})
+    baseline = prov.get("git_rev") or "unknown-rev"
+    stamp = prov.get("timestamp")
+    tail = f"{baseline}, {stamp}" if stamp else baseline
+    return (
+        "trajectory delta vs committed baseline ("
+        + tail + "): " + ", ".join(deltas)
+    )
+
+
 def check_against(committed: dict, fresh: dict) -> int:
     """Compare a fresh measurement to the committed trajectory.
 
     Returns the number of regressions: throughput collapses (>2x
     slower than committed) and drifted deterministic event counts.
+    Provenance metadata is reporting-only and never compared.
     """
     regressions = 0
     for app, old in sorted(committed.get("apps", {}).items()):
@@ -117,17 +180,35 @@ def check_against(committed: dict, fresh: dict) -> int:
 
 
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    check = "--check" in argv
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline instead of "
+             "overwriting it",
+    )
+    parser.add_argument(
+        "--git-rev", default=None, metavar="REV",
+        help="git revision to stamp into the provenance block "
+             "(default: git rev-parse --short HEAD, best effort)",
+    )
+    parser.add_argument(
+        "--timestamp", default=None, metavar="ISO8601",
+        help="timestamp to stamp into the provenance block (passed by "
+             "the bench driver; the script itself never reads the date)",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
     print(f"smoke benchmark ({SMOKE_PROCESSES} processors):")
-    payload = run_smoke_benchmarks()
-    if check:
+    payload = run_smoke_benchmarks(
+        git_rev=args.git_rev, timestamp=args.timestamp
+    )
+    if args.check:
         if not OUTPUT.exists():
             print(f"{OUTPUT} missing — nothing to check against")
             return 1
         committed = json.loads(OUTPUT.read_text())
         print(f"trajectory check vs {OUTPUT}:")
         regressions = check_against(committed, payload)
+        print(trajectory_delta_line(committed, payload))
         if regressions:
             print(
                 f"bench check: FAILED ({regressions} regression(s); "

@@ -24,6 +24,10 @@ simulation core unless ``MachineConfig(sanitize=True)`` is set or the
 * :mod:`repro.analysis.protolint` — static completeness / determinism /
   liveness / stutter analysis of the declarative protocol transition
   table, cross-checked against the model checker's reachable states;
+* :mod:`repro.analysis.latbound` — static latency-bound analyzer:
+  closed-form per-transaction latency envelopes derived from the
+  protocol table plus a trace audit (its ``audit_app`` entry point, like
+  litmus, imports :mod:`repro.system` lazily);
 * :mod:`repro.analysis.litmus` — consistency litmus tests through the
   full machine (imported directly, not re-exported here: it depends on
   :mod:`repro.system`, which may itself import this package).
@@ -45,6 +49,20 @@ from repro.analysis.lockorder import (
     LockOrderReport,
     analyze_apps,
     analyze_program,
+)
+from repro.analysis.latbound import (
+    LAT_MUTATIONS,
+    AuditReport,
+    AuditViolation,
+    EnvelopeTable,
+    LatBoundResult,
+    LatFinding,
+    LatencyEnvelope,
+    TxnClass,
+    audit_app,
+    audit_trace,
+    check_accounting,
+    derive_envelopes,
 )
 from repro.analysis.modelcheck import (
     ModelChecker,
@@ -84,9 +102,16 @@ from repro.analysis.vector_clock import Epoch, VectorClock, join_all
 
 __all__ = [
     "AccessSite",
+    "AuditReport",
+    "AuditViolation",
     "CoherenceSanitizer",
+    "EnvelopeTable",
     "Epoch",
     "ExecutionSummary",
+    "LAT_MUTATIONS",
+    "LatBoundResult",
+    "LatFinding",
+    "LatencyEnvelope",
     "LintIssue",
     "LockOrderFinding",
     "LockOrderReport",
@@ -105,11 +130,16 @@ __all__ = [
     "SrcIssue",
     "Transition",
     "TransitionTrace",
+    "TxnClass",
     "VectorClock",
     "Violation",
     "analyze_apps",
     "analyze_program",
+    "audit_app",
+    "audit_trace",
+    "check_accounting",
     "check_protocol",
+    "derive_envelopes",
     "execute_program",
     "format_counterexample",
     "format_issues",

@@ -41,6 +41,17 @@ accidental dicts and per-iteration containers dominate profiles):
   of the event engine's ``run`` / ``run_until``: the dispatch loop runs
   once per event and must not churn the allocator.
 
+One rule guards numeric soundness of the timing core:
+
+* ``float-drift`` — in ``sim/`` (the event calendar and queued
+  resources, where every quantity is an integer pclock count), no
+  ``==`` / ``!=`` comparison involving a float expression (a float
+  literal, a ``float(...)`` call, or a true division) and no in-place
+  accumulation of one (``+=`` / ``-=`` / ``*=`` with a float operand,
+  or ``/=`` anywhere): float rounding drifts with evaluation order, and
+  simulated time must never inherit it.  Reporting-only ratios
+  (returned, not stored back into timing state) are fine.
+
 A finding may be acknowledged in place with a trailing
 ``# srclint: ok(<rule>)`` comment on the offending line (the
 crash-isolation boundary in the experiment supervisor, for example,
@@ -275,6 +286,60 @@ class _Visitor(ast.NodeVisitor):
     visit_SetComp = _visit_comprehensions
     visit_DictComp = _visit_comprehensions
     visit_GeneratorExp = _visit_comprehensions
+
+    # -- float drift in timing code ----------------------------------------
+
+    def _floatish(self, node: ast.expr) -> bool:
+        """Syntactically float-valued: a float literal, ``float(...)``,
+        a true division, or any expression containing one."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+        ):
+            return True
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._floatish(node.left) or self._floatish(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._floatish(node.operand)
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.rel_path.startswith("sim/"):
+            operands = [node.left] + list(node.comparators)
+            if any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ) and any(self._floatish(operand) for operand in operands):
+                self._flag(
+                    node, "float-drift",
+                    "exact equality against a float expression is "
+                    "rounding-sensitive; simulated time is integer "
+                    "pclocks — compare integers or use a tolerance",
+                )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.rel_path.startswith("sim/"):
+            if isinstance(node.op, ast.Div):
+                self._flag(
+                    node, "float-drift",
+                    "in-place division turns timing state into a float "
+                    "accumulator; keep pclock counts integral",
+                )
+            elif isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult)
+            ) and self._floatish(node.value):
+                self._flag(
+                    node, "float-drift",
+                    "accumulating a float expression into timing state "
+                    "drifts with evaluation order; keep pclock counts "
+                    "integral",
+                )
+        self.generic_visit(node)
 
     # -- mutable defaults --------------------------------------------------
 

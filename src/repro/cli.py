@@ -143,6 +143,8 @@ _CHECK_DESCRIPTIONS = {
     "srclint": "determinism + hot-path lint over the simulator source",
     "protolint": "static completeness/determinism/liveness check of the "
                  "declarative protocol transition table",
+    "latbound": "static per-transaction latency envelopes derived from "
+                "the protocol table, with optional trace audit",
     "trace": "axiomatic trace conformance (litmus matrix + smoke runs)",
     "layout": "static memory-layout lint of the bundled apps",
     "chaos": "crash-tolerance drill: SIGKILL pool workers mid-sweep, "
@@ -165,6 +167,35 @@ _TRACE_MUTATIONS = (
 #: Seeded transition-table defects for ``--proto-mutate`` (the
 #: protolint analogue of ``--mc-mutate``).
 _PROTO_MUTATIONS = ("drop-transition", "overlap-rule", "orphan-state")
+
+#: Seeded latency-accounting defects for ``--lat-mutate`` (the latbound
+#: analogue).  The first two are caught statically (hop-continuity and
+#: directory-single-pass); the third survives every static pass by
+#: design and is caught by the trace audit.
+_LAT_MUTATIONS = (
+    "uncharged-hop", "double-charged-directory-occupancy",
+    "envelope-too-tight",
+)
+
+#: CLI flags associated with each check, for ``--list-checks``.  Checks
+#: with no dedicated flag are reachable via ``--checks <name>`` (and the
+#: starred default subset runs them with no flags at all).
+_CHECK_FLAGS = {
+    "lint": (),
+    "races": (),
+    "litmus": (),
+    "invariants": (),
+    "faults": ("--faults",),
+    "model": ("--model-check", "--mc-mutate", "--mc-fingerprint"),
+    "lockorder": ("--lock-order",),
+    "srclint": ("--lint-src",),
+    "protolint": ("--proto-lint", "--proto-mutate", "--proto-fingerprint"),
+    "latbound": ("--lat-bound", "--lat-audit", "--lat-mutate",
+                 "--lat-fingerprint"),
+    "trace": ("--trace-check", "--trace-mutate"),
+    "layout": ("--layout-lint",),
+    "chaos": ("--chaos",),
+}
 _CHECK_APPS = ("MP3D", "LU", "PTHOR")
 
 
@@ -323,6 +354,83 @@ def run_proto_lint(
     return 0
 
 
+def run_lat_bound(
+    app: str,
+    audit: bool = False,
+    mutation: Optional[str] = None,
+    fingerprint_path: Optional[str] = None,
+    verbose: bool = False,
+) -> int:
+    """The ``check --lat-bound`` entry point: derive the per-transaction
+    latency envelopes from the protocol table and run the static
+    accounting conformance passes; with ``audit``, additionally replay a
+    traced smoke run per app (under SC and RC) and verify every observed
+    transaction latency falls inside its envelope.  With ``mutation``,
+    seed one of :data:`_LAT_MUTATIONS` into the derivation and print the
+    detecting witness (nonzero exit when detected, mirroring
+    ``--proto-mutate``).  With ``fingerprint_path``, cache the canonical
+    envelope fingerprint so CI fails fast on unreviewed latency-model
+    diffs."""
+    import pathlib
+
+    from repro.analysis.latbound import audit_app, check_accounting
+    from repro.config import Consistency
+
+    result = check_accounting(mutation=mutation)
+    print(f"[latbound] {result.summary()}")
+    for finding in result.findings:
+        print("  " + finding.format().replace("\n", "\n  "))
+    if verbose:
+        table_text = result.table.format_table(Consistency.RC)
+        print("  " + table_text.replace("\n", "\n  "))
+
+    if mutation is not None:
+        if result.findings:
+            return 1  # detected statically, witnesses printed above
+        # The remaining defect class only shifts the bounds; replay one
+        # traced smoke run and let the audit produce the witness.
+        report = audit_app("MP3D", mutation=mutation)
+        print("[latbound] " + report.format().replace("\n", "\n  "))
+        if report.ok:
+            print(f"[latbound] mutation {mutation!r} was NOT detected")
+            return 0
+        return 1
+
+    if result.findings:
+        return 1
+
+    if audit:
+        names = _CHECK_APPS if app == "all" else (app,)
+        bad = 0
+        for name in names:
+            for model in (Consistency.SC, Consistency.RC):
+                report = audit_app(name, model)
+                print("[latbound] " + report.format().replace("\n", "\n  "))
+                if not report.ok:
+                    bad += 1
+        if bad:
+            return 1
+
+    if fingerprint_path:
+        path = pathlib.Path(fingerprint_path)
+        if path.exists():
+            cached = path.read_text().strip()
+            if cached != result.fingerprint:
+                print(
+                    f"[latbound] envelope fingerprint MISMATCH: cached "
+                    f"{cached[:16]} != computed {result.fingerprint[:16]} "
+                    f"— the latency model changed; review the diff and "
+                    f"delete {path} to accept"
+                )
+                return 1
+            print(f"[latbound] envelope fingerprint matches cache ({path})")
+        else:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(result.fingerprint + "\n")
+            print(f"[latbound] envelope fingerprint cached to {path}")
+    return 0
+
+
 def run_trace_check(
     app: str,
     mutation: Optional[str] = None,
@@ -385,6 +493,9 @@ def run_check(
     trace_mutation: Optional[str] = None,
     proto_mutation: Optional[str] = None,
     proto_fingerprint: Optional[str] = None,
+    lat_audit: bool = False,
+    lat_mutation: Optional[str] = None,
+    lat_fingerprint: Optional[str] = None,
 ) -> int:
     """The ``repro check`` subcommand: op-stream lint, race detection,
     litmus consistency checks, a sanitized simulation, and the static
@@ -508,6 +619,16 @@ def run_check(
         ):
             fail("protolint")
 
+    if "latbound" in checks:
+        if run_lat_bound(
+            app,
+            audit=lat_audit,
+            mutation=lat_mutation,
+            fingerprint_path=lat_fingerprint,
+            verbose=verbose,
+        ):
+            fail("latbound")
+
     if "trace" in checks:
         if run_trace_check(app, mutation=trace_mutation, verbose=verbose):
             fail("trace")
@@ -537,11 +658,18 @@ def run_check(
 
 def list_checks() -> str:
     """The ``--list-checks`` rendering: every pass with its one-liner,
-    with the no-flags default and the ``--all`` semantics spelled out."""
+    the CLI flags that select it, and whether it is in the no-flags
+    default subset, with the ``--all`` semantics spelled out."""
     lines = ["available checks (run order):"]
     for name in _CHECKS:
         marker = "*" if name in _DEFAULT_CHECKS else " "
         lines.append(f"  {marker} {name:<11} {_CHECK_DESCRIPTIONS[name]}")
+        membership = (
+            "default: yes" if name in _DEFAULT_CHECKS else "default: no"
+        )
+        flags = ", ".join(_CHECK_FLAGS.get(name, ()))
+        via = flags if flags else f"--checks {name}"
+        lines.append(f"    {membership}; flags: {via}")
     lines.append(
         "checks marked * run by default; --all runs every check; "
         "--checks a,b or a dedicated flag runs just those"
@@ -571,6 +699,8 @@ def select_checks(args) -> List[str]:
         selected.append("srclint")
     if args.proto_lint or args.proto_mutate is not None:
         selected.append("protolint")
+    if args.lat_bound or args.lat_audit or args.lat_mutate is not None:
+        selected.append("latbound")
     if args.trace_check or args.trace_mutate is not None:
         selected.append("trace")
     if args.layout_lint:
@@ -692,8 +822,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                  "summary", "all", "check", "sweep"],
         help="which artifact to regenerate, 'check' to run the "
              "analysis suite (lint, races, litmus, invariants, plus the "
-             "static passes: model, lockorder, srclint, trace, layout, "
-             "chaos), or 'sweep' to run a journaled, crash-tolerant, "
+             "static passes: model, lockorder, srclint, protolint, "
+             "latbound, trace, layout, chaos), or 'sweep' to run a "
+             "journaled, crash-tolerant, "
              "resumable sweep of the targets' simulation points",
     )
     parser.add_argument(
@@ -848,6 +979,41 @@ def main(argv: Optional[List[str]] = None) -> int:
              "check — CI's fast table-diff detector)",
     )
     parser.add_argument(
+        "--lat-bound",
+        action="store_true",
+        help="derive closed-form per-transaction latency envelopes from "
+             "the protocol transition table and the machine config, and "
+             "statically verify the accounting (every rule priced into "
+             "exactly one stall bucket, connected charge paths, single "
+             "directory pass, Table 1's additive distance ladder, "
+             "monotonicity in every config parameter, additive technique "
+             "composition)",
+    )
+    parser.add_argument(
+        "--lat-audit",
+        action="store_true",
+        help="with --lat-bound: replay a traced smoke run per app under "
+             "SC and RC and verify every observed transaction latency "
+             "falls inside its derived envelope (fault-free runs only)",
+    )
+    parser.add_argument(
+        "--lat-mutate",
+        choices=list(_LAT_MUTATIONS),
+        default=None,
+        help="run --lat-bound with a deliberately seeded accounting "
+             "defect (demo: the first two are caught statically with a "
+             "witness path, envelope-too-tight is caught by the trace "
+             "audit with a witness transaction)",
+    )
+    parser.add_argument(
+        "--lat-fingerprint",
+        default=None,
+        metavar="PATH",
+        help="cache the canonical envelope fingerprint at PATH: written "
+             "when absent, compared when present (mismatch fails the "
+             "check — CI's fast latency-model-diff detector)",
+    )
+    parser.add_argument(
         "--chaos",
         action="store_true",
         help="crash-tolerance drill: run a tiny journaled sweep whose "
@@ -965,6 +1131,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_mutation=args.trace_mutate,
             proto_mutation=args.proto_mutate,
             proto_fingerprint=args.proto_fingerprint,
+            lat_audit=args.lat_audit,
+            lat_mutation=args.lat_mutate,
+            lat_fingerprint=args.lat_fingerprint,
         )
 
     from repro.experiments.parallel import JobsError

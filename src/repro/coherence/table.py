@@ -418,3 +418,50 @@ def build_directory_table() -> TransitionTable:
 
 #: The table the imperative protocol drivers and protolint both use.
 DIRECTORY_PROTOCOL_TABLE = build_directory_table()
+
+
+#: Declarative Table 1 pricing of each rule: which ``LatencyTable``
+#: field supplies the base (uncontended) latency of a transaction that
+#: fires the rule, per requester/home/owner *topology*.  Topology keys:
+#:
+#: * ``"any"``          — topology-independent (hits, evictions);
+#: * ``"local"``        — requester is the home node;
+#: * ``"home"``         — requester != home, serviced at the home;
+#: * ``"dirty-home"``   — dirty line, two-party collapse (owner == home,
+#:   or home == requester with a remote owner — both price identically);
+#: * ``"dirty-remote"`` — dirty line, three-party transaction
+#:   (requester != home != owner).
+#:
+#: ``None`` means the rule charges no demand latency at all (clean
+#: replacement hints are free; dirty-eviction write-backs are
+#: latency-hidden behind the write-back buffer, bandwidth only).
+#:
+#: This map is *data about* the table, kept next to it so a rule change
+#: and its pricing change land in the same diff; it stays out of
+#: :class:`Rule` itself because latency is the imperative layer's
+#: business (see the module docstring).  ``repro.analysis.latbound``
+#: walks it to derive per-transaction-class latency envelopes and
+#: cross-checks it against the imperative charge sequences in
+#: :mod:`repro.coherence.protocol`.
+RULE_LATENCY_ANNOTATIONS: Dict[str, Dict[str, Optional[str]]] = {
+    "read-hit-shared": {"any": "read_fill_secondary"},
+    "read-hit-owned": {"any": "read_fill_secondary"},
+    "read-miss-unowned": {"local": "read_fill_local",
+                          "home": "read_fill_home"},
+    "read-miss-shared": {"local": "read_fill_local",
+                         "home": "read_fill_home"},
+    "read-miss-dirty-remote": {"dirty-home": "read_fill_home",
+                               "dirty-remote": "read_fill_remote"},
+    "write-hit-owned": {"any": "write_owned_secondary"},
+    "write-miss-unowned": {"local": "write_owned_local",
+                           "home": "write_owned_home"},
+    "write-miss-shared": {"local": "write_owned_local",
+                          "home": "write_owned_home"},
+    "write-miss-dirty": {"dirty-home": "write_owned_home",
+                         "dirty-remote": "write_owned_remote"},
+    "write-upgrade-shared": {"local": "write_owned_local",
+                             "home": "write_owned_home"},
+    "evict-clean-other-sharers": {"any": None},
+    "evict-clean-last": {"any": None},
+    "evict-dirty": {"any": None},
+}

@@ -94,6 +94,27 @@ class LatencyTable:
     #: the fill overhead disappears.
     uncached_discount: int = 8
 
+    def read_ladder(self):
+        """The read latencies ordered by distance, as ``(field, value)``
+        pairs — the analytic ladder ``validate`` enforces and the static
+        envelope analyzer walks."""
+        return (
+            ("read_primary_hit", self.read_primary_hit),
+            ("read_fill_secondary", self.read_fill_secondary),
+            ("read_fill_local", self.read_fill_local),
+            ("read_fill_home", self.read_fill_home),
+            ("read_fill_remote", self.read_fill_remote),
+        )
+
+    def write_ladder(self):
+        """The write (retire) latencies ordered by distance."""
+        return (
+            ("write_owned_secondary", self.write_owned_secondary),
+            ("write_owned_local", self.write_owned_local),
+            ("write_owned_home", self.write_owned_home),
+            ("write_owned_remote", self.write_owned_remote),
+        )
+
     def validate(self) -> None:
         ordered_reads = (
             self.read_primary_hit,

@@ -1,5 +1,21 @@
 """Node bus and network link contention model."""
 
-from repro.interconnect.network import Interconnect, NodeLinks
+from repro.interconnect.network import (
+    ChargeKind,
+    Interconnect,
+    NodeLinks,
+    max_charges_per_transaction,
+    max_occupancy,
+    occupancy_of,
+    stations_per_charge,
+)
 
-__all__ = ["Interconnect", "NodeLinks"]
+__all__ = [
+    "ChargeKind",
+    "Interconnect",
+    "NodeLinks",
+    "max_charges_per_transaction",
+    "max_occupancy",
+    "occupancy_of",
+    "stations_per_charge",
+]

@@ -17,10 +17,70 @@ a burst).
 
 from __future__ import annotations
 
+import enum
 from typing import List
 
 from repro.config import ContentionConfig
 from repro.sim.resource import QueuedResource
+
+
+class ChargeKind(enum.Enum):
+    """The four queued-resource kinds a transaction can charge.
+
+    Shared between the runtime charge methods below and the static
+    envelope analyzer (``repro.analysis.latbound``), so the analyzer's
+    occupancy model cannot drift from the simulator's.
+    """
+
+    BUS = "bus"
+    LINK = "link"
+    DIRECTORY = "directory"
+    MEMORY = "memory"
+
+
+def occupancy_of(
+    contention: ContentionConfig, kind: ChargeKind, data: bool
+) -> int:
+    """The occupancy one charge of ``kind`` holds its resource for —
+    exactly what the ``charge_*`` methods pass to ``QueuedResource``."""
+    if kind is ChargeKind.BUS:
+        return (
+            contention.bus_occupancy_data
+            if data
+            else contention.bus_occupancy_header
+        )
+    if kind is ChargeKind.LINK:
+        return (
+            contention.link_occupancy_data
+            if data
+            else contention.link_occupancy_header
+        )
+    if kind is ChargeKind.DIRECTORY:
+        return contention.directory_occupancy
+    return contention.memory_occupancy
+
+
+def max_occupancy(contention: ContentionConfig, kind: ChargeKind) -> int:
+    """The largest occupancy any single charge of ``kind`` can hold."""
+    return max(
+        occupancy_of(contention, kind, data=True),
+        occupancy_of(contention, kind, data=False),
+    )
+
+
+def stations_per_charge(kind: ChargeKind) -> int:
+    """How many distinct queued resources one charge of ``kind`` waits
+    on: ``charge_hop`` serializes through a source ``link_out`` *and* a
+    destination ``link_in``; every other kind is a single resource."""
+    return 2 if kind is ChargeKind.LINK else 1
+
+
+def max_charges_per_transaction(kind: ChargeKind) -> int:
+    """How many times a single transaction can charge one *specific*
+    resource of ``kind``: a remote fill crosses the requester's bus
+    twice (request out, data in); no path revisits a link, directory,
+    or memory unit."""
+    return 2 if kind is ChargeKind.BUS else 1
 
 
 class NodeLinks:

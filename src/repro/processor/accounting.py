@@ -34,6 +34,26 @@ class Bucket(enum.Enum):
     NO_SWITCH = "no_switch"
 
 
+#: Which stall bucket the demand latency of each protocol event class
+#: lands in, keyed by :class:`~repro.coherence.table.ProtoEvent` *value*
+#: (string-keyed so this latency-accounting fact does not drag the
+#: protocol table into the processor package).  ``None`` means the event
+#: charges no processor-visible stall at all (evictions ride the
+#: write-back buffer; their bandwidth is charged on the background
+#: chain).  ``repro.analysis.latbound`` checks this map is total over
+#: ``ProtoEvent`` and that every transition-table rule charges exactly
+#: one bucket through it.
+BUCKET_FOR_PROTO_EVENT = {
+    "read_hit": Bucket.READ_STALL,
+    "read_miss": Bucket.READ_STALL,
+    "write_hit": Bucket.WRITE_STALL,
+    "write_miss": Bucket.WRITE_STALL,
+    "write_upgrade": Bucket.WRITE_STALL,
+    "evict_clean": None,
+    "evict_dirty": None,
+}
+
+
 @dataclass
 class TimeBreakdown:
     """Per-processor cycle accounting."""

@@ -251,7 +251,7 @@ def _check_args(**overrides):
         faults="none", model_check=False, lock_order=False, lint_src=False,
         proto_lint=False, proto_mutate=None, trace_check=False,
         trace_mutate=None, layout_lint=False, chaos=False, all_checks=False,
-        checks=None,
+        checks=None, lat_bound=False, lat_audit=False, lat_mutate=None,
     )
     defaults.update(overrides)
     return argparse.Namespace(**defaults)
@@ -272,6 +272,40 @@ def test_list_checks_names_every_check_and_defaults(capsys):
         if line.strip().startswith("*")
     ]
     assert tuple(starred) == _DEFAULT_CHECKS
+
+
+def test_list_checks_prints_flags_and_default_membership(capsys):
+    from repro.cli import _CHECK_FLAGS, _CHECKS, _DEFAULT_CHECKS
+
+    main(["check", "--list-checks"])
+    out = capsys.readouterr().out
+    # Every check's dedicated flags appear; flagless checks point at
+    # --checks <name>; membership lines match the default subset.
+    for name in _CHECKS:
+        flags = _CHECK_FLAGS[name]
+        if flags:
+            for flag in flags:
+                assert flag in out
+        else:
+            assert f"--checks {name}" in out
+    assert out.count("default: yes") == len(_DEFAULT_CHECKS)
+    assert out.count("default: no") == len(_CHECKS) - len(_DEFAULT_CHECKS)
+
+
+def test_check_flags_table_covers_every_check():
+    from repro.cli import _CHECK_FLAGS, _CHECKS
+
+    assert set(_CHECK_FLAGS) == set(_CHECKS)
+
+
+def test_select_checks_lat_flags_select_latbound():
+    from repro.cli import select_checks
+
+    assert select_checks(_check_args(lat_bound=True)) == ["latbound"]
+    assert select_checks(_check_args(lat_audit=True)) == ["latbound"]
+    assert select_checks(
+        _check_args(lat_mutate="uncharged-hop")
+    ) == ["latbound"]
 
 
 def test_select_checks_default_is_documented_subset():

@@ -67,3 +67,113 @@ class TestReporting:
         assert report["node2.bus"] > 0
         assert report["node0.bus"] == 0
         assert len(report) == 4 * 5
+
+
+class TestHopEdgeCasesVsEnvelopes:
+    """Interconnect edge cases cross-checked against the static latency
+    envelopes (repro.analysis.latbound) — zero-hop local access, the
+    max-distance three-party route, and contended vs contention-free
+    bounds must all land inside what the analyzer derives."""
+
+    def _envelopes(self, enabled=True, processors=4):
+        from repro.analysis.latbound import derive_envelopes
+        from repro.config import ContentionConfig, dash_scaled_config
+
+        config = dash_scaled_config(
+            num_processors=processors,
+            contention=ContentionConfig(enabled=enabled),
+        )
+        return config, derive_envelopes(config)
+
+    def test_zero_hop_local_access_charges_no_link(self):
+        # A local fill never touches the network: its envelope has no
+        # link term, and an idle bus+memory chain reproduces the base.
+        from repro.analysis.latbound import TxnClass
+        from repro.config import Consistency
+
+        config, table = self._envelopes()
+        env = table.get(Consistency.SC, TxnClass.READ_MISS_LOCAL)
+        assert not any("link" in name for name, _v in env.term_breakdown)
+        net = make_net()
+        delay = net.charge_bus(0, 0, data=True)
+        delay += net.charge_memory(0, delay)
+        assert env.contains(config.latency.read_fill_local + delay)
+
+    def test_max_distance_route_idle_hits_envelope_floor(self):
+        # Three-party dirty-remote read: request bus, two forward hops,
+        # owner bus, reply hop — the longest demand route there is.  On
+        # an idle machine the queuing delay is zero and the observed
+        # latency is exactly the envelope minimum.
+        from repro.analysis.latbound import TxnClass
+        from repro.config import Consistency
+
+        config, table = self._envelopes()
+        env = table.get(Consistency.SC, TxnClass.READ_MISS_DIRTY_REMOTE)
+        net = make_net()
+        req, home, owner = 0, 1, 2
+        delay = net.charge_bus(req, 0, data=False)
+        delay += net.charge_hop(req, home, delay, data=False)
+        delay += net.charge_directory(home, delay)
+        delay += net.charge_hop(home, owner, delay, data=False)
+        delay += net.charge_bus(owner, delay, data=True)
+        delay += net.charge_hop(owner, req, delay, data=True)
+        assert delay == 0
+        assert config.latency.read_fill_remote + delay == env.min_cycles
+
+    def test_contended_route_stays_under_envelope_ceiling(self):
+        # Pile demand traffic onto every station of the three-party
+        # route, then walk it: the accumulated queuing delay must stay
+        # under the static per-step ceiling sum (max - min).
+        from repro.analysis.latbound import TxnClass
+        from repro.config import Consistency
+
+        config, table = self._envelopes()
+        env = table.get(Consistency.SC, TxnClass.READ_MISS_DIRTY_REMOTE)
+        net = make_net()
+        req, home, owner = 0, 1, 2
+        for _ in range(3):  # fewer competitors than the in-flight bound
+            net.charge_bus(req, 0, data=True)
+            net.charge_hop(req, home, 0, data=True)
+            net.charge_directory(home, 0)
+            net.charge_hop(home, owner, 0, data=True)
+            net.charge_bus(owner, 0, data=True)
+            net.charge_hop(owner, req, 0, data=True)
+        delay = net.charge_bus(req, 0, data=False)
+        delay += net.charge_hop(req, home, delay, data=False)
+        delay += net.charge_directory(home, delay)
+        delay += net.charge_hop(home, owner, delay, data=False)
+        delay += net.charge_bus(owner, delay, data=True)
+        delay += net.charge_hop(owner, req, delay, data=True)
+        assert delay > 0
+        assert delay <= env.max_cycles - env.min_cycles
+
+    def test_contention_free_bound_is_exact_point(self):
+        # With contention disabled every charge returns zero delay and
+        # the analyzer collapses each envelope to [base, base].
+        from repro.analysis.latbound import TxnClass
+        from repro.config import Consistency
+
+        config, table = self._envelopes(enabled=False)
+        env = table.get(Consistency.SC, TxnClass.READ_MISS_DIRTY_REMOTE)
+        assert env.min_cycles == env.max_cycles
+        net = make_net(enabled=False)
+        delay = net.charge_bus(0, 0, data=False)
+        delay += net.charge_hop(0, 1, delay, data=False)
+        delay += net.charge_directory(1, delay)
+        delay += net.charge_hop(1, 2, delay, data=False)
+        delay += net.charge_bus(2, delay, data=True)
+        delay += net.charge_hop(2, 0, delay, data=True)
+        assert delay == 0
+        assert env.contains(config.latency.read_fill_remote)
+
+    def test_contended_ceiling_wider_than_quiet(self):
+        from repro.analysis.latbound import TxnClass
+        from repro.config import Consistency
+
+        _cfg, loud = self._envelopes(enabled=True)
+        _cfg2, quiet = self._envelopes(enabled=False)
+        for cls in (TxnClass.READ_MISS_HOME, TxnClass.WRITE_MISS_HOME):
+            wide = loud.get(Consistency.RC, cls)
+            point = quiet.get(Consistency.RC, cls)
+            assert wide.min_cycles == point.min_cycles
+            assert wide.max_cycles > point.max_cycles

@@ -371,3 +371,61 @@ class TestLoopAllocation:
                 while self.pending:
                     batch = []
         """, rel_path="experiments/runner.py") == []
+
+
+class TestFloatDrift:
+    def test_float_equality_flagged_in_sim(self):
+        assert _rules("""
+            if self.now == ratio / 2:
+                pass
+        """, rel_path="sim/engine.py") == ["float-drift"]
+
+    def test_float_literal_inequality_flagged(self):
+        assert _rules("""
+            done = elapsed != 0.5
+        """, rel_path="sim/resource.py") == ["float-drift"]
+
+    def test_float_call_comparison_flagged(self):
+        assert _rules("""
+            if float(busy) == limit:
+                pass
+        """, rel_path="sim/resource.py") == ["float-drift"]
+
+    def test_integer_comparison_ok(self):
+        assert _rules("""
+            if self.now == deadline:
+                pass
+        """, rel_path="sim/engine.py") == []
+
+    def test_ordering_comparison_against_float_ok(self):
+        # Tolerance-style comparisons are the recommended fix.
+        assert _rules("""
+            if utilization < 0.5:
+                pass
+        """, rel_path="sim/resource.py") == []
+
+    def test_inplace_division_flagged(self):
+        assert _rules("""
+            self.remaining /= 2
+        """, rel_path="sim/engine.py") == ["float-drift"]
+
+    def test_float_accumulation_flagged(self):
+        assert _rules("""
+            self.clock += delta * 0.5
+        """, rel_path="sim/engine.py") == ["float-drift"]
+
+    def test_integer_accumulation_ok(self):
+        assert _rules("""
+            self.clock += delta
+        """, rel_path="sim/engine.py") == []
+
+    def test_outside_sim_not_checked(self):
+        assert _rules("""
+            if mean == total / count:
+                pass
+        """, rel_path="experiments/report.py") == []
+
+    def test_ack_suppresses(self):
+        assert _rules("""
+            x = a == b / c  # srclint: ok(float-drift)
+        """, rel_path="sim/engine.py") == []
