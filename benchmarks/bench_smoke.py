@@ -1,11 +1,21 @@
-"""Smoke-scale performance baseline.
+"""Smoke/medium-scale performance trajectory for both engine backends.
 
-Runs each application at the ``smoke`` workload scale (the same
-seconds-scale configurations ``repro-1991 check`` uses) and records
-per-app wall time and simulator throughput to ``BENCH_smoke.json`` at
-the repository root.  The committed file is the measured trajectory
-later PRs compare against when touching hot paths; CI regenerates it
-and uploads the fresh copy as an artifact.
+Runs each application at the requested workload scale (``--scale smoke``
+is the same seconds-scale configuration ``repro-1991 check`` uses;
+``--scale medium`` is ~6x larger, big enough that per-event cost
+dominates machine construction) under BOTH event-calendar backends
+(``heap`` and ``wheel``) and records per-app wall time and simulator
+throughput to ``BENCH_smoke.json`` / ``BENCH_medium.json`` at the
+repository root.  The committed files are the measured trajectory later
+PRs compare against when touching hot paths; CI regenerates them and
+uploads fresh copies as artifacts.
+
+Methodology: the timed section is ``Machine.run`` only (construction and
+program load are excluded — the claim is about the simulation core), the
+best of ``--reps`` repetitions is kept (wall-clock noise is one-sided:
+every slowdown is noise, the fastest rep is closest to the machine's
+true cost), and simulated event counts are asserted identical across
+reps.
 
 Each payload carries a ``provenance`` block — git revision and
 timestamp (passed in by the bench driver via ``--git-rev`` /
@@ -17,21 +27,22 @@ Provenance never participates in the regression comparison.
 
 ``--check`` is the trajectory guard: instead of overwriting the file,
 it compares the fresh measurement against the committed one and fails
-(exit 1) if any app's throughput dropped to less than half the
-committed events/sec — the "did this PR accidentally make the
-simulator 2x slower" tripwire.  It also prints a one-line trajectory
-delta (per-app throughput change vs the committed baseline and that
-baseline's provenance) for the CI log.  Wall-clock noise between hosts
-is real, so the threshold is deliberately coarse; simulated event
-counts, which are deterministic, must match exactly.
+(exit 1) on any of
+
+* a throughput collapse — any (backend, app) below half its committed
+  events/sec (the "did this PR accidentally make the simulator 2x
+  slower" tripwire; wall-clock noise between hosts is real, so the
+  threshold is deliberately coarse);
+* committed-vs-fresh drift in a simulated event count, which is
+  deterministic and must match exactly;
+* cross-backend drift — the heap and wheel calendars disagreeing on an
+  event count in the *fresh* run, which would mean the backends are no
+  longer bit-identical and the differential battery has a hole.
 
 Unlike the figure/table benchmarks in this directory, this is a plain
 script (``python benchmarks/bench_smoke.py``), not a pytest-benchmark
 target: it measures the simulator engine itself, not a reproduction
 claim, and must stay runnable in a bare CI step with no plugins.
-
-Simulated quantities (events, pclocks) are deterministic; only the
-wall-clock fields and provenance vary between hosts.
 """
 
 from __future__ import annotations
@@ -52,11 +63,19 @@ from repro.config import dash_scaled_config  # noqa: E402
 from repro.experiments.registry import (  # noqa: E402
     APP_NAMES,
     SMOKE_PROCESSES,
-    smoke_program,
+    build_app,
 )
-from repro.system import run_program  # noqa: E402
+from repro.sim.engine import ENGINE_BACKENDS  # noqa: E402
+from repro.system import Machine  # noqa: E402
 
-OUTPUT = REPO_ROOT / "BENCH_smoke.json"
+#: One committed trajectory file per scale.
+OUTPUTS = {
+    "smoke": REPO_ROOT / "BENCH_smoke.json",
+    "medium": REPO_ROOT / "BENCH_medium.json",
+}
+
+#: Default repetitions per (backend, app); best rep is recorded.
+DEFAULT_REPS = 5
 
 
 def _detect_git_rev() -> str | None:
@@ -82,55 +101,102 @@ def provenance(git_rev: str | None, timestamp: str | None) -> dict:
     }
 
 
-def run_smoke_benchmarks(
-    git_rev: str | None = None, timestamp: str | None = None
-) -> dict:
-    config = dash_scaled_config(num_processors=SMOKE_PROCESSES)
-    apps = {}
-    for app in APP_NAMES:
-        program = smoke_program(app)
+def _measure_app(app: str, scale: str, backend: str, reps: int) -> dict:
+    """Best-of-``reps`` timing of ``Machine.run`` for one (app, backend)."""
+    config = dash_scaled_config(num_processors=SMOKE_PROCESSES).replace(
+        engine_backend=backend
+    )
+    best_wall = None
+    events = None
+    execution_time = None
+    for _ in range(reps):
+        machine = Machine(config)
+        machine.load(build_app(app, scale))
         start = time.perf_counter()
-        result = run_program(program, config)
+        result = machine.run()
         wall = time.perf_counter() - start
-        apps[app] = {
-            "wall_seconds": round(wall, 3),
-            "events": result.events_processed,
-            "events_per_sec": round(result.events_processed / wall) if wall else 0,
-            "execution_time_pclocks": result.execution_time,
-        }
-        print(
-            f"  {app:6s} {wall:6.2f}s wall, "
-            f"{result.events_processed:>9,} events "
-            f"({apps[app]['events_per_sec']:>9,}/s), "
-            f"T={result.execution_time:,} pclocks"
-        )
+        if events is None:
+            events = result.events_processed
+            execution_time = result.execution_time
+        elif events != result.events_processed:
+            raise RuntimeError(
+                f"{app}/{backend}: event count varied between reps "
+                f"({events:,} vs {result.events_processed:,}) — the "
+                "simulator is supposed to be deterministic"
+            )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
     return {
-        "scale": "smoke",
-        "processors": SMOKE_PROCESSES,
-        "python": platform.python_version(),
-        "provenance": provenance(git_rev, timestamp),
-        "apps": apps,
+        "wall_seconds": round(best_wall, 4),
+        "events": events,
+        "events_per_sec": round(events / best_wall) if best_wall else 0,
+        "execution_time_pclocks": execution_time,
     }
 
 
-#: An app is a regression when its fresh throughput is below
+def run_benchmarks(
+    scale: str,
+    reps: int = DEFAULT_REPS,
+    git_rev: str | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    backends = {}
+    for backend in ENGINE_BACKENDS:
+        apps = {}
+        for app in APP_NAMES:
+            apps[app] = stats = _measure_app(app, scale, backend, reps)
+            print(
+                f"  {backend:5s} {app:6s} {stats['wall_seconds']:7.3f}s wall, "
+                f"{stats['events']:>9,} events "
+                f"({stats['events_per_sec']:>9,}/s), "
+                f"T={stats['execution_time_pclocks']:,} pclocks"
+            )
+        backends[backend] = {"apps": apps}
+    for app in APP_NAMES:
+        heap = backends["heap"]["apps"][app]["events_per_sec"]
+        wheel = backends["wheel"]["apps"][app]["events_per_sec"]
+        if heap:
+            print(f"  wheel/heap {app:6s} {wheel / heap:5.2f}x")
+    return {
+        "scale": scale,
+        "processors": SMOKE_PROCESSES,
+        "reps": reps,
+        "python": platform.python_version(),
+        "provenance": provenance(git_rev, timestamp),
+        "backends": backends,
+    }
+
+
+#: A (backend, app) is a regression when its fresh throughput is below
 #: ``committed events/sec / REGRESSION_FACTOR``.
 REGRESSION_FACTOR = 2.0
 
 
+def _committed_backends(committed: dict) -> dict:
+    """Per-backend sections of a committed payload.  Pre-wheel payloads
+    had a single top-level ``apps`` measured on the heap backend; fold
+    them into the current shape so the trajectory survives the schema
+    change."""
+    if "backends" in committed:
+        return committed["backends"]
+    return {"heap": {"apps": committed.get("apps", {})}}
+
+
 def trajectory_delta_line(committed: dict, fresh: dict) -> str:
-    """One-line per-app throughput delta vs the committed baseline,
-    with the baseline's provenance, for the CI log."""
+    """One-line per-(backend, app) throughput delta vs the committed
+    baseline, with the baseline's provenance, for the CI log."""
     deltas = []
-    for app, old in sorted(committed.get("apps", {}).items()):
-        new = fresh["apps"].get(app)
-        if new is None or not old.get("events_per_sec"):
-            deltas.append(f"{app} n/a")
-            continue
-        change = 100.0 * (
-            new["events_per_sec"] - old["events_per_sec"]
-        ) / old["events_per_sec"]
-        deltas.append(f"{app} {change:+.1f}%")
+    for backend, old_section in sorted(_committed_backends(committed).items()):
+        fresh_section = fresh["backends"].get(backend, {"apps": {}})
+        for app, old in sorted(old_section.get("apps", {}).items()):
+            new = fresh_section["apps"].get(app)
+            if new is None or not old.get("events_per_sec"):
+                deltas.append(f"{backend}/{app} n/a")
+                continue
+            change = 100.0 * (
+                new["events_per_sec"] - old["events_per_sec"]
+            ) / old["events_per_sec"]
+            deltas.append(f"{backend}/{app} {change:+.1f}%")
     prov = committed.get("provenance", {})
     baseline = prov.get("git_rev") or "unknown-rev"
     stamp = prov.get("timestamp")
@@ -141,50 +207,101 @@ def trajectory_delta_line(committed: dict, fresh: dict) -> str:
     )
 
 
+def cross_backend_drift(fresh: dict) -> int:
+    """Event-count disagreements between the fresh heap and wheel runs
+    (each one is a bit-identity violation, not a perf question)."""
+    drifts = 0
+    backends = fresh["backends"]
+    if "heap" not in backends or "wheel" not in backends:
+        return 0
+    for app, heap in sorted(backends["heap"]["apps"].items()):
+        wheel = backends["wheel"]["apps"].get(app)
+        if wheel is None:
+            continue
+        if heap["events"] != wheel["events"]:
+            print(
+                f"  {app}: BACKEND DIVERGENCE — heap fired "
+                f"{heap['events']:,} events, wheel {wheel['events']:,}; "
+                "the calendars are no longer bit-identical"
+            )
+            drifts += 1
+    return drifts
+
+
 def check_against(committed: dict, fresh: dict) -> int:
     """Compare a fresh measurement to the committed trajectory.
 
-    Returns the number of regressions: throughput collapses (>2x
-    slower than committed) and drifted deterministic event counts.
-    Provenance metadata is reporting-only and never compared.
+    Returns the number of regressions: throughput collapses (>2x slower
+    than committed), drifted deterministic event counts, and
+    cross-backend event-count divergence in the fresh run.  Provenance
+    metadata is reporting-only and never compared.
     """
     regressions = 0
-    for app, old in sorted(committed.get("apps", {}).items()):
-        new = fresh["apps"].get(app)
-        if new is None:
-            print(f"  {app}: MISSING from fresh run")
+    for backend, old_section in sorted(_committed_backends(committed).items()):
+        fresh_section = fresh["backends"].get(backend)
+        if fresh_section is None:
+            print(f"  {backend}: backend MISSING from fresh run")
             regressions += 1
             continue
-        if new["events"] != old["events"]:
-            print(
-                f"  {app}: simulated event count drifted "
-                f"({old['events']:,} committed vs {new['events']:,} fresh) "
-                f"— not a perf question, the simulation changed"
-            )
-            regressions += 1
-        floor = old["events_per_sec"] / REGRESSION_FACTOR
-        if new["events_per_sec"] < floor:
-            print(
-                f"  {app}: THROUGHPUT REGRESSION "
-                f"{new['events_per_sec']:,}/s vs committed "
-                f"{old['events_per_sec']:,}/s "
-                f"(>{REGRESSION_FACTOR:.0f}x slower)"
-            )
-            regressions += 1
-        else:
-            print(
-                f"  {app}: ok ({new['events_per_sec']:,}/s vs committed "
-                f"{old['events_per_sec']:,}/s)"
-            )
+        for app, old in sorted(old_section.get("apps", {}).items()):
+            label = f"{backend}/{app}"
+            new = fresh_section["apps"].get(app)
+            if new is None:
+                print(f"  {label}: MISSING from fresh run")
+                regressions += 1
+                continue
+            if new["events"] != old["events"]:
+                print(
+                    f"  {label}: simulated event count drifted "
+                    f"({old['events']:,} committed vs {new['events']:,} "
+                    f"fresh) — not a perf question, the simulation changed"
+                )
+                regressions += 1
+            floor = old["events_per_sec"] / REGRESSION_FACTOR
+            if new["events_per_sec"] < floor:
+                print(
+                    f"  {label}: THROUGHPUT REGRESSION "
+                    f"{new['events_per_sec']:,}/s vs committed "
+                    f"{old['events_per_sec']:,}/s "
+                    f"(>{REGRESSION_FACTOR:.0f}x slower)"
+                )
+                regressions += 1
+            else:
+                print(
+                    f"  {label}: ok ({new['events_per_sec']:,}/s vs "
+                    f"committed {old['events_per_sec']:,}/s)"
+                )
+    regressions += cross_backend_drift(fresh)
     return regressions
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--scale", choices=sorted(OUTPUTS), default="smoke",
+        help="workload scale to measure (selects the output file)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=DEFAULT_REPS, metavar="N",
+        help="repetitions per (backend, app); the best rep is recorded",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="compare against the committed baseline instead of "
              "overwriting it",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="with --check, compare against this file instead of the "
+             "committed one (CI uses a cached same-host baseline here, "
+             "which is a much tighter signal than cross-host wall "
+             "clocks)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the measurement to this file instead of the "
+             "committed per-scale one (CI uses this to seed the cached "
+             "same-host baseline without touching the repo copy)",
     )
     parser.add_argument(
         "--git-rev", default=None, metavar="REV",
@@ -197,28 +314,35 @@ def main(argv=None) -> int:
              "the bench driver; the script itself never reads the date)",
     )
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
-    print(f"smoke benchmark ({SMOKE_PROCESSES} processors):")
-    payload = run_smoke_benchmarks(
-        git_rev=args.git_rev, timestamp=args.timestamp
+    output = Path(args.output) if args.output else OUTPUTS[args.scale]
+    print(
+        f"{args.scale} benchmark ({SMOKE_PROCESSES} processors, "
+        f"best of {args.reps}):"
+    )
+    payload = run_benchmarks(
+        args.scale, reps=args.reps,
+        git_rev=args.git_rev, timestamp=args.timestamp,
     )
     if args.check:
-        if not OUTPUT.exists():
-            print(f"{OUTPUT} missing — nothing to check against")
+        baseline = Path(args.baseline) if args.baseline else OUTPUTS[args.scale]
+        if not baseline.exists():
+            print(f"{baseline} missing — nothing to check against")
             return 1
-        committed = json.loads(OUTPUT.read_text())
-        print(f"trajectory check vs {OUTPUT}:")
+        committed = json.loads(baseline.read_text())
+        print(f"trajectory check vs {baseline}:")
         regressions = check_against(committed, payload)
         print(trajectory_delta_line(committed, payload))
         if regressions:
             print(
                 f"bench check: FAILED ({regressions} regression(s); "
-                f"if intended, refresh with `python {Path(__file__).name}`)"
+                f"if intended, refresh with `python {Path(__file__).name} "
+                f"--scale {args.scale}`)"
             )
             return 1
         print("bench check: ok")
         return 0
-    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {OUTPUT}")
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
     return 0
 
 

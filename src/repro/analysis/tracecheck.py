@@ -942,8 +942,18 @@ def run_mutation_demo(name: str) -> ConformanceReport:
     return run_traced_litmus(test, model, mutation=name).report
 
 
-def check_app(app: str, model: Consistency = Consistency.RC) -> ConformanceReport:
-    """Trace one smoke-scale application run and check conformance."""
+def check_app(
+    app: str,
+    model: Consistency = Consistency.RC,
+    config_overrides: Optional[dict] = None,
+) -> ConformanceReport:
+    """Trace one smoke-scale application run and check conformance.
+
+    ``config_overrides`` fields (e.g. ``engine_backend``) are applied on
+    top of the standard traced configuration — the backend-matrix tests
+    use this to prove the conformance verdict and the trace itself are
+    identical under the heap and wheel calendars.
+    """
     from repro.experiments.registry import SMOKE_PROCESSES, smoke_program
     from repro.system import Machine
 
@@ -952,6 +962,8 @@ def check_app(app: str, model: Consistency = Consistency.RC) -> ConformanceRepor
         consistency=model,
         trace_memory_events=True,
     )
+    if config_overrides:
+        config = config.replace(**config_overrides)
     machine = Machine(config)
     machine.load(smoke_program(app))
     machine.run()

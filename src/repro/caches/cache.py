@@ -12,12 +12,20 @@ references are assumed to hit, as in the paper (Section 2.3, footnote 2).
 LRU replacement (``CacheGeometry.ways > 1``) for the interference
 ablations; the paper's experiments all use ``ways=1``, which takes a
 dedicated fast path.
+
+Storage is packed array-of-struct: with ``ways == 1`` the array is a
+flat ``_tags`` list (line base addresses, ``-1`` for never-filled) plus
+a ``_states`` bytearray of raw :class:`LineState` values, so the
+protocol's hot path can probe both with plain integer indexing via
+:meth:`DirectMappedCache.packed_arrays` and never construct an enum.
+The public API still speaks :class:`LineState` members.
 """
 
 from __future__ import annotations
 
 import enum
 from typing import Optional, Tuple
+
 
 from repro.config import CacheGeometry
 
@@ -28,6 +36,10 @@ class LineState(enum.IntEnum):
     INVALID = 0
     SHARED = 1   # clean, possibly one of several copies
     DIRTY = 2    # exclusive, modified (secondary cache only)
+
+
+#: Raw-byte -> member table for the packed state array (index == value).
+_MEMBERS = (LineState.INVALID, LineState.SHARED, LineState.DIRTY)
 
 
 class DirectMappedCache:
@@ -59,7 +71,7 @@ class DirectMappedCache:
         self._ways = geometry.ways
         if self._ways == 1:
             self._tags = [-1] * self._num_sets
-            self._states = [LineState.INVALID] * self._num_sets
+            self._states = bytearray(self._num_sets)
             self._sets = None
         else:
             # Per-set list of [tag, state], most recently used first.
@@ -79,6 +91,19 @@ class DirectMappedCache:
     def line_of(self, addr: int) -> int:
         return addr - (addr % self._line_bytes)
 
+    def packed_arrays(self):
+        """The raw ``(tags, states)`` arrays, or ``None`` when the
+        geometry is associative.
+
+        The lists/bytearray are mutated in place and never rebound, so
+        holders may alias them.  ``states`` entries are raw ints; the
+        caller owns keeping the hit/miss counters honest when probing
+        around the public API (see the protocol fast path).
+        """
+        if self._ways == 1:
+            return self._tags, self._states
+        return None
+
     # -- associative-set helpers ---------------------------------------------
 
     def _find(self, entries, line: int):
@@ -92,14 +117,16 @@ class DirectMappedCache:
     def lookup(self, line: int) -> LineState:
         """State of ``line`` (INVALID when absent); counts hit/miss and
         refreshes LRU order on associative geometries."""
-        index = self.set_index(line)
         if self._ways == 1:
-            if self._tags[index] == line and self._states[index] != LineState.INVALID:
-                self.hits += 1
-                return self._states[index]
+            index = (line // self._line_bytes) % self._num_sets
+            if self._tags[index] == line:
+                state = self._states[index]
+                if state:
+                    self.hits += 1
+                    return _MEMBERS[state]
             self.misses += 1
             return LineState.INVALID
-        entries = self._sets[index]
+        entries = self._sets[self.set_index(line)]
         position = self._find(entries, line)
         if position is not None and entries[position][1] != LineState.INVALID:
             entry = entries.pop(position)
@@ -111,11 +138,12 @@ class DirectMappedCache:
 
     def probe(self, line: int) -> LineState:
         """State of ``line`` without touching counters or LRU order."""
-        index = self.set_index(line)
         if self._ways == 1:
+            index = (line // self._line_bytes) % self._num_sets
             if self._tags[index] == line:
-                return self._states[index]
+                return _MEMBERS[self._states[index]]
             return LineState.INVALID
+        index = self.set_index(line)
         position = self._find(self._sets[index], line)
         if position is not None:
             return self._sets[index][position][1]
@@ -131,20 +159,18 @@ class DirectMappedCache:
         """
         if state == LineState.INVALID:
             raise ValueError("cannot insert a line in INVALID state")
-        index = self.set_index(line)
         if self._ways == 1:
+            index = (line // self._line_bytes) % self._num_sets
+            tags = self._tags
+            states = self._states
             victim = None
-            if (
-                self._tags[index] != line
-                and self._tags[index] != -1
-                and self._states[index] != LineState.INVALID
-            ):
-                victim = (self._tags[index], self._states[index])
+            if tags[index] != line and tags[index] != -1 and states[index]:
+                victim = (tags[index], _MEMBERS[states[index]])
                 self.evictions += 1
-            self._tags[index] = line
-            self._states[index] = state
+            tags[index] = line
+            states[index] = state
             return victim
-        entries = self._sets[index]
+        entries = self._sets[self.set_index(line)]
         position = self._find(entries, line)
         if position is not None:
             entry = entries.pop(position)
@@ -161,12 +187,13 @@ class DirectMappedCache:
 
     def set_state(self, line: int, state: LineState) -> None:
         """Change the state of a resident line (e.g. SHARED -> DIRTY)."""
-        index = self.set_index(line)
         if self._ways == 1:
-            if self._tags[index] != line or self._states[index] == LineState.INVALID:
+            index = (line // self._line_bytes) % self._num_sets
+            if self._tags[index] != line or not self._states[index]:
                 raise KeyError(f"line {line:#x} not resident")
             self._states[index] = state
             return
+        index = self.set_index(line)
         position = self._find(self._sets[index], line)
         if position is None or self._sets[index][position][1] == LineState.INVALID:
             raise KeyError(f"line {line:#x} not resident")
@@ -174,14 +201,14 @@ class DirectMappedCache:
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if resident; True if something was dropped."""
-        index = self.set_index(line)
         if self._ways == 1:
-            if self._tags[index] == line and self._states[index] != LineState.INVALID:
-                self._states[index] = LineState.INVALID
+            index = (line // self._line_bytes) % self._num_sets
+            if self._tags[index] == line and self._states[index]:
+                self._states[index] = 0
                 self.invalidations_received += 1
                 return True
             return False
-        entries = self._sets[index]
+        entries = self._sets[self.set_index(line)]
         position = self._find(entries, line)
         if position is not None and entries[position][1] != LineState.INVALID:
             entries.pop(position)
@@ -193,8 +220,8 @@ class DirectMappedCache:
         """Iterate over (line, state) of valid entries (for invariants)."""
         if self._ways == 1:
             for tag, state in zip(self._tags, self._states):
-                if tag != -1 and state != LineState.INVALID:
-                    yield tag, state
+                if tag != -1 and state:
+                    yield tag, _MEMBERS[state]
             return
         for entries in self._sets:
             for tag, state in entries:

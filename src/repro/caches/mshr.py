@@ -12,22 +12,47 @@ per line so that:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 
-@dataclass
-class OutstandingMiss:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
-    """One in-flight fill/ownership transaction for a line."""
+class OutstandingMiss:
+    """One in-flight fill/ownership transaction for a line.
 
-    line: int
-    exclusive: bool
-    issue_time: int
-    complete_time: int
-    is_prefetch: bool
-    waiters: List[Callable[[int], None]] = field(default_factory=list)
-    #: Set when a demand reference combined with this (prefetch) miss.
-    combined: bool = False
+    Packed ``__slots__`` storage — allocated on every secondary-cache
+    miss, probed on every read while any miss is outstanding.
+    """
+
+    __slots__ = (
+        "line", "exclusive", "issue_time", "complete_time",
+        "is_prefetch", "waiters", "combined",
+    )
+
+    def __init__(
+        self,
+        line: int,
+        exclusive: bool,
+        issue_time: int,
+        complete_time: int,
+        is_prefetch: bool,
+        waiters: Optional[List[Callable[[int], None]]] = None,
+        combined: bool = False,
+    ) -> None:
+        self.line = line
+        self.exclusive = exclusive
+        self.issue_time = issue_time
+        self.complete_time = complete_time
+        self.is_prefetch = is_prefetch
+        self.waiters = [] if waiters is None else waiters
+        #: Set when a demand reference combined with this (prefetch) miss.
+        self.combined = combined
+
+    def __repr__(self) -> str:
+        return (
+            f"OutstandingMiss(line={self.line:#x}, "
+            f"exclusive={self.exclusive}, issue_time={self.issue_time}, "
+            f"complete_time={self.complete_time}, "
+            f"is_prefetch={self.is_prefetch}, combined={self.combined})"
+        )
 
 
 class MSHRTable:

@@ -17,22 +17,42 @@ issues ownership requests lives in :mod:`repro.system.memiface`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
 from collections import deque
 
 
-@dataclass
-class WriteEntry:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
-    """One buffered write (or release marker)."""
+class WriteEntry:
+    """One buffered write (or release marker).
 
-    line: int
-    enqueue_time: int
-    is_release: bool = False
-    #: Invoked with the retire time once ownership is acquired.  Releases
-    #: use it to perform the actual synchronization release.
-    on_retire: Optional[Callable[[int], None]] = None
-    issued: bool = False
+    Packed ``__slots__`` storage: one is allocated per buffered write,
+    and the drain engine touches ``line``/``issued`` on every expiry
+    sweep.
+    """
+
+    __slots__ = ("line", "enqueue_time", "is_release", "on_retire", "issued")
+
+    def __init__(
+        self,
+        line: int,
+        enqueue_time: int,
+        is_release: bool = False,
+        on_retire: Optional[Callable[[int], None]] = None,
+        issued: bool = False,
+    ) -> None:
+        self.line = line
+        self.enqueue_time = enqueue_time
+        self.is_release = is_release
+        #: Invoked with the retire time once ownership is acquired.
+        #: Releases use it to perform the actual synchronization release.
+        self.on_retire = on_retire
+        self.issued = issued
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteEntry(line={self.line:#x}, "
+            f"enqueue_time={self.enqueue_time}, "
+            f"is_release={self.is_release}, issued={self.issued})"
+        )
 
 
 class WriteBuffer:

@@ -15,8 +15,7 @@ This precision is checked by the coherence invariant tests.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, Optional, Set
 
 from repro.sim.engine import SimulationError
 
@@ -27,13 +26,65 @@ class DirState(enum.IntEnum):
     DIRTY = 2     # exactly one cache holds a modified copy
 
 
-@dataclass
-class DirectoryEntry:  # srclint: ok(missing-slots) — dataclass defaults clash with __slots__ on py3.9
-    """Directory record for one memory line."""
+class DirectoryEntry:
+    """Directory record for one memory line.
 
-    state: DirState = DirState.UNOWNED
-    sharers: Set[int] = field(default_factory=set)
-    owner: Optional[int] = None
+    The sharer set is packed into an integer bitmask (``mask``, bit i =
+    node i caches the line): membership, add, and remove are single ALU
+    operations and the record is three machine words, with no per-entry
+    ``set`` allocation.  Hot protocol paths operate on ``mask``
+    directly; the ``sharers`` property materialises a fresh ``set``
+    snapshot for diagnostics, invariant sweeps, and tests — mutating
+    that snapshot does not write back.
+    """
+
+    __slots__ = ("state", "mask", "owner")
+
+    def __init__(
+        self,
+        state: DirState = DirState.UNOWNED,
+        sharers: Optional[Iterable[int]] = None,
+        owner: Optional[int] = None,
+    ) -> None:
+        self.state = state
+        mask = 0
+        if sharers:
+            for node in sharers:
+                mask |= 1 << node
+        self.mask = mask
+        self.owner = owner
+
+    @property
+    def sharers(self) -> Set[int]:
+        mask = self.mask
+        nodes = set()
+        while mask:
+            low = mask & -mask
+            nodes.add(low.bit_length() - 1)
+            mask ^= low
+        return nodes
+
+    @sharers.setter
+    def sharers(self, value: Iterable[int]) -> None:
+        mask = 0
+        for node in value:
+            mask |= 1 << node
+        self.mask = mask
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectoryEntry(state={self.state!r}, "
+            f"sharers={self.sharers!r}, owner={self.owner!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectoryEntry):
+            return NotImplemented
+        return (
+            self.state == other.state
+            and self.mask == other.mask
+            and self.owner == other.owner
+        )
 
     def check(self) -> None:
         """Validate the entry's internal consistency.
@@ -42,19 +93,19 @@ class DirectoryEntry:  # srclint: ok(missing-slots) — dataclass defaults clash
         ``assert``) so the invariant survives ``python -O``.
         """
         if self.state == DirState.UNOWNED:
-            if self.sharers or self.owner is not None:
+            if self.mask or self.owner is not None:
                 raise SimulationError(
                     f"UNOWNED directory entry with sharers={self.sharers} "
                     f"owner={self.owner}"
                 )
         elif self.state == DirState.SHARED:
-            if not self.sharers or self.owner is not None:
+            if not self.mask or self.owner is not None:
                 raise SimulationError(
                     f"SHARED directory entry with sharers={self.sharers} "
                     f"owner={self.owner}"
                 )
         else:
-            if self.owner is None or self.sharers:
+            if self.owner is None or self.mask:
                 raise SimulationError(
                     f"DIRTY directory entry with sharers={self.sharers} "
                     f"owner={self.owner}"
@@ -104,8 +155,8 @@ class Directory:
         entry = self._entries.get(line)
         if entry is None:
             return
-        entry.sharers.discard(node)
-        if entry.state == DirState.SHARED and not entry.sharers:
+        entry.mask &= ~(1 << node)
+        if entry.state == DirState.SHARED and not entry.mask:
             entry.state = DirState.UNOWNED
 
     def writeback(self, line: int, node: int) -> None:
@@ -116,7 +167,7 @@ class Directory:
         if entry.state == DirState.DIRTY and entry.owner == node:
             entry.state = DirState.UNOWNED
             entry.owner = None
-            entry.sharers.clear()
+            entry.mask = 0
 
     def apply_eviction(self, rule, line: int, node: int) -> None:
         """Apply an eviction rule's directory actions for ``node``
@@ -127,14 +178,27 @@ class Directory:
         protolint's conformance pass checks that the defensive updates
         below land on exactly the rule's declared next directory state.
         """
-        # Imported here: the table module imports DirState from us.
-        from repro.coherence.table import Action
+        # Imported lazily (the table module imports DirState from us)
+        # and cached at module scope so steady-state evictions skip the
+        # import machinery.
+        actions = _EVICTION_ACTIONS
+        if actions is None:
+            from repro.coherence.table import Action
 
-        if Action.WRITEBACK_MEMORY in rule.action_set:
+            actions = (Action.WRITEBACK_MEMORY, Action.DROP_SHARER)
+            globals()["_EVICTION_ACTIONS"] = actions
+        writeback_memory, drop_sharer = actions
+
+        if writeback_memory in rule.action_set:
             self.writeback(line, node)
-        elif Action.DROP_SHARER in rule.action_set:
+        elif drop_sharer in rule.action_set:
             self.drop_sharer(line, node)
         else:
             raise SimulationError(
                 f"eviction rule {rule.name!r} names no directory action"
             )
+
+
+#: Cached ``(Action.WRITEBACK_MEMORY, Action.DROP_SHARER)`` pair filled
+#: on the first eviction (set via ``globals()`` from ``apply_eviction``).
+_EVICTION_ACTIONS = None

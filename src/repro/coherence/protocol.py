@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import partial
 from typing import List, NamedTuple, Optional, Tuple
 
 from repro.caches import DirectMappedCache, LineState
-from repro.coherence.directory import Directory, DirState
+from repro.caches.cache import _MEMBERS
+from repro.coherence.directory import Directory, DirectoryEntry, DirState
 from repro.coherence.table import (
     DIRECTORY_PROTOCOL_TABLE,
     Action,
@@ -63,6 +65,16 @@ _WRITE_HIT_RULE = DIRECTORY_PROTOCOL_TABLE.lookup(
     LineState.DIRTY, DirState.DIRTY, ProtoEvent.WRITE_HIT
 )
 
+#: Raw-int views of the hit rules for the packed fast paths (the cache
+#: state arrives as a plain byte there); semantics identical to probing
+#: ``_READ_HIT_RULES[state].action_set`` per access.
+_READ_HIT_RULE_BY_INT = {int(state): rule for state, rule in _READ_HIT_RULES.items()}
+_READ_HIT_FILLS = {
+    int(state): Action.FILL_FROM_CACHE in rule.action_set
+    for state, rule in _READ_HIT_RULES.items()
+}
+_WRITE_HIT_FILLS = Action.FILL_FROM_CACHE in _WRITE_HIT_RULE.action_set
+
 
 class AccessClass(enum.Enum):
     """Where in the hierarchy an access was serviced (for statistics)."""
@@ -74,6 +86,15 @@ class AccessClass(enum.Enum):
     REMOTE = "remote"
     UNCACHED_LOCAL = "uncached_local"
     UNCACHED_REMOTE = "uncached_remote"
+
+    # Members are singletons, so the identity hash agrees with equality;
+    # it replaces the pure-Python ``Enum.__hash__`` on the per-access
+    # ``reads_by_class``/``writes_by_class`` dict bumps.
+    __hash__ = object.__hash__
+
+
+_PRIMARY_HIT = AccessClass.PRIMARY_HIT
+_SECONDARY_HIT = AccessClass.SECONDARY_HIT
 
 
 class AccessOutcome(NamedTuple):
@@ -88,6 +109,15 @@ class AccessOutcome(NamedTuple):
     retire: int
     complete: int
     access_class: AccessClass
+
+
+#: Frame-free constructor: builds the instance through the C
+#: ``tuple.__new__`` (what the generated ``__new__`` ultimately calls),
+#: skipping both the keyword-handling wrapper and the ``_make``
+#: classmethod frame — a measurable share of miss-path time at ~2k
+#: outcomes per smoke run.  The result is the same type, field for
+#: field.
+_OUTCOME = partial(tuple.__new__, AccessOutcome)
 
 
 @dataclass
@@ -187,11 +217,85 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         self.net = interconnect
         #: The declarative state machine the handlers are driven off.
         self.table = DIRECTORY_PROTOCOL_TABLE
+        #: Precomputed unguarded dispatch over the table: read/write
+        #: transitions resolve with one tuple-keyed dict probe; a miss
+        #: falls back to ``table.lookup`` for the full error surface.
+        self._dispatch = self.table.dispatch_index()
+        #: Miss rules re-indexed by directory state (the only varying
+        #: key coordinate once the event is known): ``(rule, fetches)``
+        #: pairs, ``fetches`` pre-resolving the ``FETCH_FROM_OWNER``
+        #: membership test.  ``None`` marks a combination the dispatch
+        #: index does not cover — the handlers fall back to
+        #: ``table.lookup`` there for the full error surface.  Replaces
+        #: a 3-tuple construction plus three enum hashes per miss with
+        #: one list index.
+        dispatch = self._dispatch
+
+        def _rule_pair(key):
+            rule = dispatch.get(key)
+            if rule is None:
+                return None
+            return (rule, Action.FETCH_FROM_OWNER in rule.action_set)
+
+        _DIR_STATES = (DirState.UNOWNED, DirState.SHARED, DirState.DIRTY)
+        self._read_miss_rules = [
+            _rule_pair((LineState.INVALID, ds, ProtoEvent.READ_MISS))
+            for ds in _DIR_STATES
+        ]
+        self._write_rules = [
+            [
+                _rule_pair((LineState.INVALID, ds, ProtoEvent.WRITE_MISS))
+                for ds in _DIR_STATES
+            ],
+            [
+                _rule_pair((LineState.SHARED, ds, ProtoEvent.WRITE_UPGRADE))
+                for ds in _DIR_STATES
+            ],
+        ]
         self.stats = ProtocolStats()
         self._line_bytes = config.line_bytes
+        #: Miss-path aliases: ``home_of`` and ``Directory.entry`` are
+        #: one-line wrappers, so the hot handlers bind the underlying
+        #: allocator method and entry dicts directly — one frame and one
+        #: attribute chain fewer per miss.  ``_entries`` is mutated in
+        #: place and never rebound (``Directory.reset`` leaves it alone).
+        self._home_of = allocator.home_of
+        self._dir_maps = [d._entries for d in directories]
         #: Memory-event trace recorder; installed by the machine when
         #: ``MachineConfig.trace_memory_events`` is set, else ``None``.
         self.trace = None
+        #: Packed-array fast path: with both levels direct-mapped (every
+        #: paper configuration) the hit checks index the caches' raw
+        #: tag/state arrays directly.  The arrays are aliased here —
+        #: DirectMappedCache mutates them in place and never rebinds.
+        self._fast = bool(caches) and all(
+            nc.primary.packed_arrays() is not None
+            and nc.secondary.packed_arrays() is not None
+            for nc in caches
+        )
+        if self._fast:
+            self._primary_arrays = [nc.primary.packed_arrays() for nc in caches]
+            self._secondary_arrays = [nc.secondary.packed_arrays() for nc in caches]
+            self._pri_sets = caches[0].primary.geometry.num_sets
+            self._sec_sets = caches[0].secondary.geometry.num_sets
+            #: Per-node ``(ptags, pstates, primary, stags, sstates,
+            #: secondary)`` — one list index resolves everything the hit
+            #: checks touch.
+            self._fast_info = [
+                pa + (nc.primary,) + sa + (nc.secondary,)
+                for nc, pa, sa in zip(
+                    caches, self._primary_arrays, self._secondary_arrays
+                )
+            ]
+        else:
+            self._primary_arrays = self._secondary_arrays = None
+            self._fast_info = None
+            self._pri_sets = self._sec_sets = 0
+        lat = config.latency
+        # Hot-path latency scalars (frozen config; hoisted once).
+        self._lat_read_primary_hit = lat.read_primary_hit
+        self._lat_read_fill_secondary = lat.read_fill_secondary
+        self._lat_write_owned_secondary = lat.write_owned_secondary
 
     # -- helpers -----------------------------------------------------------
 
@@ -251,14 +355,14 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         victim_line, victim_state = victim
         # Inclusion: dropping a secondary line drops any primary copy.
         self.caches[node].primary.invalidate(victim_line)
-        home = self.home_of(victim_line)
+        home = self._home_of(victim_line)
         entry = self.directories[home].entry(victim_line)
         if victim_state == LineState.DIRTY:
             event = ProtoEvent.EVICT_DIRTY
             others: Optional[bool] = None
         else:
             event = ProtoEvent.EVICT_CLEAN
-            others = bool(entry.sharers - {node})
+            others = bool(entry.mask & ~(1 << node))
         rule = self.table.lookup(victim_state, entry.state, event, others)
         if Action.WRITEBACK_MEMORY in rule.action_set:
             # Write the dirty line back to home memory (fire-and-forget:
@@ -277,15 +381,57 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
 
     def read(self, node: int, addr: int, time: int) -> AccessOutcome:
         """Service a processor read at ``time``; returns data arrival."""
-        line = self.line_of(addr)
+        line = addr - addr % self._line_bytes
+        if self._fast:
+            # Packed fast path: identical transitions and counter
+            # updates to the generic path below, minus the per-level
+            # method dispatch.  The dominant case — a primary hit — is
+            # two list probes and a dict bump.
+            info = self._fast_info[node]
+            word = line // self._line_bytes
+            index = word % self._pri_sets
+            if info[0][index] == line and info[1][index]:
+                info[2].hits += 1
+                arrival = time + self._lat_read_primary_hit
+                reads = self.stats.reads_by_class
+                reads[_PRIMARY_HIT] = reads.get(_PRIMARY_HIT, 0) + 1
+                return _OUTCOME((arrival, arrival, _PRIMARY_HIT))
+            info[2].misses += 1
+            sindex = word % self._sec_sets
+            state = info[4][sindex] if info[3][sindex] == line else 0
+            if state:
+                info[5].hits += 1
+                if not _READ_HIT_FILLS[state]:
+                    rule = _READ_HIT_RULE_BY_INT[state]
+                    raise ProtocolTableError(
+                        f"read-hit rule does not fill from cache: "
+                        f"{rule.describe()}"
+                    )
+                # Packed primary fill (``_install_primary`` inlined:
+                # write-through level, silent eviction, counter kept).
+                pindex = word % self._pri_sets
+                ptags = info[0]
+                pstates = info[1]
+                if pstates[pindex] and ptags[pindex] != line:
+                    info[2].evictions += 1
+                ptags[pindex] = line
+                pstates[pindex] = 1  # LineState.SHARED
+                arrival = time + self._lat_read_fill_secondary
+                reads = self.stats.reads_by_class
+                reads[_SECONDARY_HIT] = reads.get(_SECONDARY_HIT, 0) + 1
+                return _OUTCOME((arrival, arrival, _SECONDARY_HIT))
+            info[5].misses += 1
+            outcome = self._read_fill(node, line, time)
+            self.stats.count_read(outcome.access_class)
+            return outcome
         lat = self.config.latency
         caches = self.caches[node]
         if caches.primary.lookup(line) != LineState.INVALID:
-            outcome = AccessOutcome(
+            outcome = _OUTCOME((
                 time + lat.read_primary_hit,
                 time + lat.read_primary_hit,
                 AccessClass.PRIMARY_HIT,
-            )
+            ))
             self.stats.count_read(outcome.access_class)
             return outcome
         state = caches.secondary.lookup(line)
@@ -298,7 +444,7 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
             self._install_primary(node, line)
             arrival = time + lat.read_fill_secondary
             self.stats.count_read(AccessClass.SECONDARY_HIT)
-            return AccessOutcome(arrival, arrival, AccessClass.SECONDARY_HIT)
+            return _OUTCOME((arrival, arrival, AccessClass.SECONDARY_HIT))
         outcome = self._read_fill(node, line, time)
         self.stats.count_read(outcome.access_class)
         return outcome
@@ -306,77 +452,103 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
     def _read_fill(self, node: int, line: int, time: int) -> AccessOutcome:
         """Secondary miss: fetch the line, classify per Table 1."""
         lat = self.config.latency
-        home = self.home_of(line)
-        entry = self.directories[home].entry(line)
-        rule = self.table.lookup(
-            LineState.INVALID, entry.state, ProtoEvent.READ_MISS
-        )
+        home = self._home_of(line)
+        # Inline ``Directory.entry`` (get-or-create): one dict probe in
+        # the steady state instead of a delegating method frame.
+        entries = self._dir_maps[home]
+        entry = entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            entries[line] = entry
+        pair = self._read_miss_rules[entry.state]
+        if pair is None:  # uncovered/impossible: full lookup error surface
+            rule = self.table.lookup(
+                LineState.INVALID, entry.state, ProtoEvent.READ_MISS
+            )
+            pair = (rule, Action.FETCH_FROM_OWNER in rule.action_set)
+        rule, fetches = pair
 
-        if Action.FETCH_FROM_OWNER in rule.action_set:
+        net = self.net
+        fast = self._fast_info
+        if fetches:
             owner = entry.owner
-            delay = self.net.charge_bus(node, time, data=False)
             if home == node:
                 # Local home, dirty at a remote owner: two traversals.
                 base = lat.read_fill_home
-                delay += self.net.charge_directory(home, time + delay)
-                delay += self.net.charge_hop(node, owner, time + delay, data=False)
-                delay += self.net.charge_bus(owner, time + delay, data=True)
-                delay += self.net.charge_hop(owner, node, time + delay, data=True)
+                delay = net.charge_fetch_owner_local(node, owner, time)
                 access_class = AccessClass.HOME
             elif owner == home:
                 # Dirty copy sits in the home node's own cache.
                 base = lat.read_fill_home
-                delay += self.net.charge_hop(node, home, time + delay, data=False)
-                delay += self.net.charge_directory(home, time + delay)
-                delay += self.net.charge_bus(home, time + delay, data=True)
-                delay += self.net.charge_hop(home, node, time + delay, data=True)
+                delay = net.charge_fetch_owner_via(node, home, home, owner, time)
                 access_class = AccessClass.HOME
             else:
                 # Three-party transaction: local -> home -> owner -> local.
                 base = lat.read_fill_remote
-                delay += self.net.charge_hop(node, home, time + delay, data=False)
-                delay += self.net.charge_directory(home, time + delay)
-                delay += self.net.charge_hop(home, owner, time + delay, data=False)
-                delay += self.net.charge_bus(owner, time + delay, data=True)
-                delay += self.net.charge_hop(owner, node, time + delay, data=True)
+                delay = net.charge_fetch_owner_remote(node, home, owner, time)
                 access_class = AccessClass.REMOTE
             # DOWNGRADE_OWNER: the dirty copy becomes SHARED in place.
             # SHARING_WRITEBACK refreshes home memory (bandwidth
             # charged, latency hidden).
-            if self.caches[owner].secondary.probe(line) == LineState.DIRTY:
+            if fast is not None:
+                oinfo = fast[owner]
+                sidx = (line // self._line_bytes) % self._sec_sets
+                if oinfo[3][sidx] == line and oinfo[4][sidx] == 2:
+                    oinfo[4][sidx] = 1  # DIRTY -> SHARED in place
+            elif self.caches[owner].secondary.probe(line) == LineState.DIRTY:
                 self.caches[owner].secondary.set_state(line, LineState.SHARED)
             if owner != home:
-                self.net.charge_hop(owner, home, time + delay, data=True)
-            self.net.charge_memory(home, time + delay)
+                net.charge_hop(owner, home, time + delay, data=True)
+            net.charge_memory(home, time + delay)
             self.stats.sharing_writebacks += 1
             # ADD_SHARER: old owner and requester now share the line.
             entry.state = rule.next_dir_state
-            entry.sharers = {owner, node}
+            entry.mask = (1 << owner) | (1 << node)
             entry.owner = None
         else:
             # READ_MEMORY: home memory holds the valid copy.
             if home == node:
                 base = lat.read_fill_local
-                delay = self.net.charge_bus(node, time, data=True)
-                delay += self.net.charge_memory(home, time + delay)
+                delay = net.charge_fill_local(node, time)
                 access_class = AccessClass.LOCAL
             else:
                 base = lat.read_fill_home
-                delay = self.net.charge_bus(node, time, data=False)
-                delay += self.net.charge_hop(node, home, time + delay, data=False)
-                delay += self.net.charge_directory(home, time + delay)
-                delay += self.net.charge_memory(home, time + delay)
-                delay += self.net.charge_hop(home, node, time + delay, data=True)
-                delay += self.net.charge_bus(node, time + delay, data=True)
+                delay = net.charge_fill_home(node, home, time)
                 access_class = AccessClass.HOME
             # ADD_SHARER: the entry becomes (or stays) SHARED.
             entry.state = rule.next_dir_state
-            entry.sharers.add(node)
+            entry.mask |= 1 << node
 
-        self._install_secondary(node, line, rule.next_cache_state, time)
-        self._install_primary(node, line)
+        if fast is not None:
+            # Packed installs — same transitions and counters as
+            # ``_install_secondary`` + ``_install_primary`` (a displaced
+            # valid secondary line still goes through ``_evict``; a
+            # nonzero state implies a real tag, so the ``!= -1`` test of
+            # ``insert`` is subsumed).
+            info = fast[node]
+            word = line // self._line_bytes
+            sidx = word % self._sec_sets
+            stags = info[3]
+            sstates = info[4]
+            old_tag = stags[sidx]
+            old_state = sstates[sidx]
+            stags[sidx] = line
+            sstates[sidx] = rule.next_cache_state
+            if old_state and old_tag != line:
+                info[5].evictions += 1
+                self._evict(node, (old_tag, _MEMBERS[old_state]), time)
+            pindex = word % self._pri_sets
+            ptags = info[0]
+            pstates = info[1]
+            if pstates[pindex] and ptags[pindex] != line:
+                info[2].evictions += 1
+            ptags[pindex] = line
+            pstates[pindex] = 1  # write-through level: silent eviction
+        else:
+            self._install_secondary(node, line, rule.next_cache_state, time)
+            self._install_primary(node, line)
         arrival = time + base + delay
-        return AccessOutcome(arrival, arrival, access_class)
+        return _OUTCOME((arrival, arrival, access_class))
 
     # -- cached writes ---------------------------------------------------------
 
@@ -388,7 +560,53 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         ``retire`` is the ownership-acquired time (write-buffer retire);
         ``complete`` additionally covers invalidation acknowledgements.
         """
-        line = self.line_of(addr)
+        line = addr - addr % self._line_bytes
+        stats = self.stats
+        if self._fast:
+            # Packed fast path — same transitions/counters as below.
+            info = self._fast_info[node]
+            word = line // self._line_bytes
+            sindex = word % self._sec_sets
+            state = info[4][sindex] if info[3][sindex] == line else 0
+            if state:
+                info[5].hits += 1
+            else:
+                info[5].misses += 1
+            stats.writes_total += 1
+            if state:
+                stats.writes_line_present += 1
+            if state == 2:  # LineState.DIRTY: secondary-owned write hit
+                if not _WRITE_HIT_FILLS:
+                    raise ProtocolTableError(
+                        "write-hit rule does not fill from cache: "
+                        f"{_WRITE_HIT_RULE.describe()}"
+                    )
+                # Write-through primary: refresh the copy if present
+                # (tag match on an invalid way is not presence).
+                pindex = word % self._pri_sets
+                if info[0][pindex] == line and info[1][pindex]:
+                    info[1][pindex] = 1  # LineState.SHARED
+                retire = time + self._lat_write_owned_secondary
+                writes = stats.writes_by_class
+                writes[_SECONDARY_HIT] = writes.get(_SECONDARY_HIT, 0) + 1
+                outcome = _OUTCOME((retire, retire, _SECONDARY_HIT))
+            else:
+                outcome = self._acquire_ownership(
+                    node, line, time, had_shared=state, background=background
+                )
+                stats.count_write(outcome.access_class)
+                # Refresh a present write-through primary copy in place
+                # (probe-then-insert inlined: a tag match with a valid
+                # state can only re-install as SHARED, no eviction).
+                pindex = word % self._pri_sets
+                if info[0][pindex] == line and info[1][pindex]:
+                    info[1][pindex] = 1  # LineState.SHARED
+            if self.trace is not None:
+                self.trace.record_write(
+                    node, addr, time, outcome.retire, outcome.complete,
+                    outcome.access_class.value,
+                )
+            return outcome
         lat = self.config.latency
         caches = self.caches[node]
         state = caches.secondary.lookup(line)
@@ -407,7 +625,7 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
                 caches.primary.insert(line, LineState.SHARED)
             retire = time + lat.write_owned_secondary
             self.stats.count_write(AccessClass.SECONDARY_HIT)
-            outcome = AccessOutcome(retire, retire, AccessClass.SECONDARY_HIT)
+            outcome = _OUTCOME((retire, retire, AccessClass.SECONDARY_HIT))
         else:
             outcome = self._acquire_ownership(
                 node, line, time, had_shared=state, background=background
@@ -431,69 +649,101 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         background: bool = False,
     ) -> AccessOutcome:
         lat = self.config.latency
-        home = self.home_of(line)
-        entry = self.directories[home].entry(line)
-        event = (
-            ProtoEvent.WRITE_MISS
-            if had_shared == LineState.INVALID
-            else ProtoEvent.WRITE_UPGRADE
-        )
-        rule = self.table.lookup(had_shared, entry.state, event)
+        home = self._home_of(line)
+        # Inline ``Directory.entry`` (get-or-create), as in _read_fill.
+        entries = self._dir_maps[home]
+        entry = entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            entries[line] = entry
+        pair = self._write_rules[1 if had_shared else 0][entry.state]
+        if pair is None:  # uncovered/impossible: full lookup error surface
+            event = (
+                ProtoEvent.WRITE_MISS
+                if had_shared == LineState.INVALID
+                else ProtoEvent.WRITE_UPGRADE
+            )
+            rule = self.table.lookup(had_shared, entry.state, event)
+            pair = (rule, Action.FETCH_FROM_OWNER in rule.action_set)
+        rule, fetches = pair
         ack_extra = 0
 
-        if Action.FETCH_FROM_OWNER in rule.action_set:
+        net = self.net
+        fast = self._fast_info
+        word = line // self._line_bytes
+        if fetches:
             owner = entry.owner
             self.stats.ownership_transfers += 1
-            delay = self.net.charge_bus(node, time, data=False, background=background)
             if owner == home or home == node:
                 base = lat.write_owned_home
                 via = home if home != node else owner
-                delay += self.net.charge_hop(node, via, time + delay, data=False, background=background)
-                delay += self.net.charge_directory(home, time + delay, background=background)
-                delay += self.net.charge_bus(owner, time + delay, data=True, background=background)
-                delay += self.net.charge_hop(owner, node, time + delay, data=True, background=background)
+                delay = net.charge_fetch_owner_via(
+                    node, via, home, owner, time, background=background
+                )
             else:
                 base = lat.write_owned_remote
-                delay += self.net.charge_hop(node, home, time + delay, data=False, background=background)
-                delay += self.net.charge_directory(home, time + delay, background=background)
-                delay += self.net.charge_hop(home, owner, time + delay, data=False, background=background)
-                delay += self.net.charge_bus(owner, time + delay, data=True, background=background)
-                delay += self.net.charge_hop(owner, node, time + delay, data=True, background=background)
+                delay = net.charge_fetch_owner_remote(
+                    node, home, owner, time, background=background
+                )
             access_class = (
                 AccessClass.REMOTE if base == lat.write_owned_remote else AccessClass.HOME
             )
             # INVALIDATE_OWNER: the transfer invalidates the previous
-            # owner's copies.
-            self.caches[owner].secondary.invalidate(line)
-            self.caches[owner].primary.invalidate(line)
+            # owner's copies (packed form of ``cache.invalidate`` at
+            # both levels, counters kept honest).
+            if fast is not None:
+                oinfo = fast[owner]
+                sidx = word % self._sec_sets
+                if oinfo[3][sidx] == line and oinfo[4][sidx]:
+                    oinfo[4][sidx] = 0
+                    oinfo[5].invalidations_received += 1
+                pindex = word % self._pri_sets
+                if oinfo[0][pindex] == line and oinfo[1][pindex]:
+                    oinfo[1][pindex] = 0
+                    oinfo[2].invalidations_received += 1
+            else:
+                self.caches[owner].secondary.invalidate(line)
+                self.caches[owner].primary.invalidate(line)
             self.stats.invalidations_sent += 1
         else:
             # READ_MEMORY, plus INVALIDATE_SHARERS when the entry lists
-            # other caches (the set is empty on an UNOWNED miss, so the
+            # other caches (the mask is empty on an UNOWNED miss, so the
             # invalidation loop below degenerates to a no-op there).
-            sharers = entry.sharers - {node}
+            sharer_mask = entry.mask & ~(1 << node)
             if home == node:
                 base = lat.write_owned_local
-                delay = self.net.charge_bus(node, time, data=True, background=background)
-                delay += self.net.charge_directory(home, time + delay, background=background)
-                delay += self.net.charge_memory(home, time + delay, background=background)
+                delay = net.charge_write_local(node, time, background=background)
                 access_class = AccessClass.LOCAL
             else:
                 base = lat.write_owned_home
-                delay = self.net.charge_bus(node, time, data=False, background=background)
-                delay += self.net.charge_hop(node, home, time + delay, data=False, background=background)
-                delay += self.net.charge_directory(home, time + delay, background=background)
-                delay += self.net.charge_memory(home, time + delay, background=background)
-                delay += self.net.charge_hop(home, node, time + delay, data=True, background=background)
-                delay += self.net.charge_bus(node, time + delay, data=True, background=background)
+                delay = net.charge_fill_home(
+                    node, home, time, background=background
+                )
                 access_class = AccessClass.HOME
-            # Point-to-point invalidations to every other sharer; the
+            # Point-to-point invalidations to every other sharer, in
+            # ascending node order (lowest set bit first — identical to
+            # the sorted-set order the set representation used); the
             # requester retires at ownership, acknowledgements trail.
-            for sharer in sorted(sharers):
-                self.caches[sharer].secondary.invalidate(line)
-                self.caches[sharer].primary.invalidate(line)
-                self.net.charge_hop(home, sharer, time + delay, data=False, background=background)
-                self.net.charge_hop(sharer, node, time + delay, data=False, background=background)
+            if fast is not None:
+                sidx = word % self._sec_sets
+                pindex = word % self._pri_sets
+            while sharer_mask:
+                low = sharer_mask & -sharer_mask
+                sharer = low.bit_length() - 1
+                sharer_mask ^= low
+                if fast is not None:
+                    sinfo = fast[sharer]
+                    if sinfo[3][sidx] == line and sinfo[4][sidx]:
+                        sinfo[4][sidx] = 0
+                        sinfo[5].invalidations_received += 1
+                    if sinfo[0][pindex] == line and sinfo[1][pindex]:
+                        sinfo[1][pindex] = 0
+                        sinfo[2].invalidations_received += 1
+                else:
+                    self.caches[sharer].secondary.invalidate(line)
+                    self.caches[sharer].primary.invalidate(line)
+                net.charge_hop(home, sharer, time + delay, data=False, background=background)
+                net.charge_hop(sharer, node, time + delay, data=False, background=background)
                 self.stats.invalidations_sent += 1
                 ack_time = (
                     lat.invalidation_ack_local
@@ -505,15 +755,35 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         # SET_OWNER: the requester becomes the exclusive owner.
         entry.state = rule.next_dir_state
         entry.owner = node
-        entry.sharers = set()
+        entry.mask = 0
 
-        if had_shared == LineState.INVALID:
+        if fast is not None:
+            # Packed install/upgrade — mirrors ``_install_secondary``
+            # (miss) and ``set_state`` (upgrade, including its
+            # not-resident error) without the method frames.
+            info = fast[node]
+            sidx = word % self._sec_sets
+            stags = info[3]
+            sstates = info[4]
+            if had_shared:
+                if stags[sidx] != line or not sstates[sidx]:
+                    raise KeyError(f"line {line:#x} not resident")
+                sstates[sidx] = rule.next_cache_state
+            else:
+                old_tag = stags[sidx]
+                old_state = sstates[sidx]
+                stags[sidx] = line
+                sstates[sidx] = rule.next_cache_state
+                if old_state and old_tag != line:
+                    info[5].evictions += 1
+                    self._evict(node, (old_tag, _MEMBERS[old_state]), time)
+        elif had_shared == LineState.INVALID:
             self._install_secondary(node, line, rule.next_cache_state, time)
         else:
             self.caches[node].secondary.set_state(line, rule.next_cache_state)
 
         retire = time + base + delay
-        return AccessOutcome(retire, retire + ack_extra, access_class)
+        return _OUTCOME((retire, retire + ack_extra, access_class))
 
     # -- prefetches ------------------------------------------------------------
 
@@ -567,7 +837,7 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
             access_class = AccessClass.UNCACHED_REMOTE
         arrival = time + base + delay
         self.stats.count_read(access_class)
-        return AccessOutcome(arrival, arrival, access_class)
+        return _OUTCOME((arrival, arrival, access_class))
 
     def write_uncached(
         self, node: int, addr: int, time: int, background: bool = False
@@ -588,7 +858,7 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
             access_class = AccessClass.UNCACHED_REMOTE
         retire = time + base + delay
         self.stats.count_write(access_class)
-        outcome = AccessOutcome(retire, retire, access_class)
+        outcome = _OUTCOME((retire, retire, access_class))
         if self.trace is not None:
             self.trace.record_write(
                 node, addr, time, outcome.retire, outcome.complete,

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import functools
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -61,6 +62,11 @@ class ProtoEvent(enum.Enum):
     EVICT_CLEAN = "evict_clean"      # replacement of a SHARED line
     EVICT_DIRTY = "evict_dirty"      # replacement of a DIRTY line
 
+    # Members are singletons, so the identity hash agrees with equality;
+    # it keeps the per-miss dispatch-key hashing at C speed instead of
+    # the pure-Python ``Enum.__hash__``.
+    __hash__ = object.__hash__
+
 
 class Action(enum.Enum):
     """Abstract protocol actions a rule performs, in no particular
@@ -77,6 +83,12 @@ class Action(enum.Enum):
     SET_OWNER = "set_owner"                  # requester becomes owner
     WRITEBACK_MEMORY = "writeback_memory"    # dirty eviction writeback
     DROP_SHARER = "drop_sharer"              # replacement hint
+
+    # Identity hash (consistent with equality — members are singletons):
+    # ``action in rule.action_set`` runs once or more per protocol miss.
+    # Code that needs a deterministic ordering over actions must sort,
+    # as ``repro.analysis.latbound`` does.
+    __hash__ = object.__hash__
 
 
 class ProtocolTableError(SimulationError):
@@ -102,8 +114,12 @@ class Rule:  # srclint: ok(missing-slots) — a dozen static table rows, not per
     def key(self) -> Tuple[LineState, DirState, ProtoEvent]:
         return (self.cache_state, self.dir_state, self.event)
 
-    @property
+    @functools.cached_property
     def action_set(self) -> frozenset:
+        # Cached: the protocol drivers test membership on every miss
+        # and eviction, and rebuilding the frozenset would hash every
+        # member each time.  (``cached_property`` writes the instance
+        # ``__dict__`` directly, so it works on a frozen dataclass.)
         return frozenset(self.actions)
 
     def matches(self, others: Optional[bool]) -> bool:
@@ -243,6 +259,24 @@ class TransitionTable:
         self, key: Tuple[LineState, DirState, ProtoEvent]
     ) -> List[Rule]:
         return [rule for rule in self.rules if rule.key == key]
+
+    def dispatch_index(self) -> Dict[Tuple, "Rule"]:
+        """Unguarded dispatch map ``(cache, dir, event) -> rule`` for the
+        protocol's hot read/write transitions.
+
+        Contains exactly the rules an ``others=None`` :meth:`lookup`
+        would return, so ``index.get(key)`` + a ``lookup`` fallback on
+        ``None`` preserves every :class:`ProtocolTableError` surface
+        while making the common case a single dict probe (keys hash as
+        plain ints thanks to the IntEnum states).  Guarded rules
+        (``others_cached`` set) are deliberately absent — eviction
+        handlers must keep consulting :meth:`lookup`.
+        """
+        index: Dict[Tuple, Rule] = {}
+        for rule in self.rules:
+            if rule.others_cached is None:
+                index.setdefault(rule.key, rule)
+        return index
 
     def declared_impossible(
         self, key: Tuple[LineState, DirState, ProtoEvent]

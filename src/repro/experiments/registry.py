@@ -46,22 +46,27 @@ _SCALES: Dict[str, Dict[str, Callable[[], object]]] = {
         "smoke": lambda: MP3DConfig(
             num_particles=200, space_x=5, space_y=8, space_z=3, time_steps=2
         ),
+        "medium": lambda: MP3DConfig(
+            num_particles=800, space_x=8, space_y=8, space_z=4, time_steps=3
+        ),
     },
     "LU": {
         "default": LUConfig,
         "paper": lu_paper,
         "bench": lu_bench,
         "smoke": lambda: LUConfig(n=16),
+        "medium": lambda: LUConfig(n=40),
     },
     "PTHOR": {
         "default": PTHORConfig,
         "paper": pthor_paper,
         "bench": pthor_bench,
         "smoke": lambda: PTHORConfig(num_gates=200, clock_cycles=2),
+        "medium": lambda: PTHORConfig(num_gates=800, clock_cycles=3),
     },
 }
 
-SCALE_NAMES = ("bench", "default", "paper", "smoke")
+SCALE_NAMES = ("bench", "default", "medium", "paper", "smoke")
 
 
 def app_config(app: str, scale: str = "default"):

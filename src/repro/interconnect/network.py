@@ -124,6 +124,18 @@ class Interconnect:
                 links.memory,
             ):
                 resource.name = "bg." + resource.name
+        # Hot-path scalars (the contention config is frozen; hoisted
+        # once).  The charge methods below update the queued resources'
+        # bookkeeping inline — one attribute probe per resource instead
+        # of a method call per charge — with semantics identical to
+        # ``QueuedResource.acquire``.
+        self._enabled = contention.enabled
+        self._bus_data = contention.bus_occupancy_data
+        self._bus_header = contention.bus_occupancy_header
+        self._link_data = contention.link_occupancy_data
+        self._link_header = contention.link_occupancy_header
+        self._directory_occupancy = contention.directory_occupancy
+        self._memory_occupancy = contention.memory_occupancy
 
     def _links(self, node: int, background: bool) -> NodeLinks:
         return self.background[node] if background else self.nodes[node]
@@ -132,37 +144,50 @@ class Interconnect:
     # the resource chain is idle), not the service completion time.
 
     def _charge(self, resource: QueuedResource, time: int, occupancy: int) -> int:
-        if not self.contention.enabled:
+        if not self._enabled:
             return 0
-        finish = resource.acquire(time, occupancy)
-        return finish - occupancy - time
+        start = time if time > resource._next_free else resource._next_free
+        resource._next_free = start + occupancy
+        resource._busy_total += occupancy
+        resource._transactions += 1
+        return start - time
 
     def charge_bus(
         self, node: int, time: int, data: bool, background: bool = False
     ) -> int:
-        occupancy = (
-            self.contention.bus_occupancy_data
-            if data
-            else self.contention.bus_occupancy_header
-        )
-        return self._charge(self._links(node, background).bus, time, occupancy)
+        if not self._enabled:
+            return 0
+        occupancy = self._bus_data if data else self._bus_header
+        bus = (self.background[node] if background else self.nodes[node]).bus
+        start = time if time > bus._next_free else bus._next_free
+        bus._next_free = start + occupancy
+        bus._busy_total += occupancy
+        bus._transactions += 1
+        return start - time
 
     def charge_hop(
         self, src: int, dst: int, time: int, data: bool, background: bool = False
     ) -> int:
-        """Charge one network traversal ``src`` -> ``dst``."""
-        occupancy = (
-            self.contention.link_occupancy_data
-            if data
-            else self.contention.link_occupancy_header
-        )
-        delay = self._charge(
-            self._links(src, background).link_out, time, occupancy
-        )
-        delay += self._charge(
-            self._links(dst, background).link_in, time + delay, occupancy
-        )
-        return delay
+        """Charge one network traversal ``src`` -> ``dst``: the source
+        node's output link, then (once that is free) the destination
+        node's input link."""
+        if not self._enabled:
+            return 0
+        occupancy = self._link_data if data else self._link_header
+        links = self.background if background else self.nodes
+        out = links[src].link_out
+        start = time if time > out._next_free else out._next_free
+        out._next_free = start + occupancy
+        out._busy_total += occupancy
+        out._transactions += 1
+        into = links[dst].link_in
+        # The downstream link is requested at the upstream service start
+        # (``time`` plus the upstream queuing delay).
+        start2 = start if start > into._next_free else into._next_free
+        into._next_free = start2 + occupancy
+        into._busy_total += occupancy
+        into._transactions += 1
+        return start2 - time
 
     def charge_directory(
         self, node: int, time: int, background: bool = False
@@ -170,15 +195,321 @@ class Interconnect:
         return self._charge(
             self._links(node, background).directory_ctl,
             time,
-            self.contention.directory_occupancy,
+            self._directory_occupancy,
         )
 
     def charge_memory(self, node: int, time: int, background: bool = False) -> int:
         return self._charge(
             self._links(node, background).memory,
             time,
-            self.contention.memory_occupancy,
+            self._memory_occupancy,
         )
+
+    # -- fused transaction paths --------------------------------------------
+    #
+    # One method per miss-transaction shape, replicating the exact
+    # ``charge_*`` sequence the protocol used to issue call-by-call —
+    # same request times (each step asks at ``time + delay``-so-far),
+    # same occupancy bookkeeping, same returned queuing delay — with a
+    # single frame per transaction.  The static envelope analyzer
+    # (``repro.analysis.latbound``) models charge *paths*, not call
+    # sites, so these fused forms stay within its model by
+    # construction; its runtime trace audit would catch any drift.
+
+    def charge_fill_local(self, node: int, time: int, background: bool = False) -> int:
+        """READ_MEMORY at the local home: bus(data) + memory."""
+        if not self._enabled:
+            return 0
+        links = (self.background if background else self.nodes)[node]
+        occ = self._bus_data
+        res = links.bus
+        start = time if time > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        occ = self._memory_occupancy
+        res = links.memory
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        return start - time
+
+    def charge_write_local(self, node: int, time: int, background: bool = False) -> int:
+        """Ownership acquire at the local home: bus(data) + directory +
+        memory."""
+        if not self._enabled:
+            return 0
+        links = (self.background if background else self.nodes)[node]
+        occ = self._bus_data
+        res = links.bus
+        start = time if time > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        occ = self._directory_occupancy
+        res = links.directory_ctl
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        occ = self._memory_occupancy
+        res = links.memory
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        return start - time
+
+    def charge_fill_home(self, node: int, home: int, time: int, background: bool = False) -> int:
+        """Remote home memory round trip (read fill or ownership
+        acquire, identical path): bus(hdr), hop(node->home, hdr),
+        directory, memory, hop(home->node, data), bus(data)."""
+        if not self._enabled:
+            return 0
+        links = self.background if background else self.nodes
+        nl = links[node]
+        hl = links[home]
+        hdr = self._bus_header
+        res = nl.bus
+        start = time if time > res._next_free else res._next_free
+        res._next_free = start + hdr
+        res._busy_total += hdr
+        res._transactions += 1
+        t = start
+        lh = self._link_header
+        res = nl.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        res = hl.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        t = start
+        occ = self._directory_occupancy
+        res = hl.directory_ctl
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        occ = self._memory_occupancy
+        res = hl.memory
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        ld = self._link_data
+        res = hl.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        res = nl.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        t = start
+        occ = self._bus_data
+        res = nl.bus
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        return start - time
+
+    def charge_fetch_owner_local(self, node: int, owner: int, time: int) -> int:
+        """Read fill, local home with a remote dirty owner: bus(hdr),
+        directory(node), hop(node->owner, hdr), bus(owner, data),
+        hop(owner->node, data).  Demand chain only."""
+        if not self._enabled:
+            return 0
+        links = self.nodes
+        nl = links[node]
+        ol = links[owner]
+        hdr = self._bus_header
+        res = nl.bus
+        start = time if time > res._next_free else res._next_free
+        res._next_free = start + hdr
+        res._busy_total += hdr
+        res._transactions += 1
+        t = start
+        occ = self._directory_occupancy
+        res = nl.directory_ctl
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        lh = self._link_header
+        res = nl.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        res = ol.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        t = start
+        occ = self._bus_data
+        res = ol.bus
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        ld = self._link_data
+        res = ol.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        res = nl.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        return start - time
+
+    def charge_fetch_owner_via(
+        self, node: int, via: int, home: int, owner: int, time: int,
+        background: bool = False,
+    ) -> int:
+        """Owner fetch through one intermediate stop: bus(hdr),
+        hop(node->via, hdr), directory(home), bus(owner, data),
+        hop(owner->node, data).  Covers the dirty-copy-at-home read
+        fill (via == home == owner) and the two-party ownership
+        transfers."""
+        if not self._enabled:
+            return 0
+        links = self.background if background else self.nodes
+        nl = links[node]
+        hdr = self._bus_header
+        res = nl.bus
+        start = time if time > res._next_free else res._next_free
+        res._next_free = start + hdr
+        res._busy_total += hdr
+        res._transactions += 1
+        t = start
+        lh = self._link_header
+        res = nl.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        res = links[via].link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        t = start
+        occ = self._directory_occupancy
+        res = links[home].directory_ctl
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        ol = links[owner]
+        occ = self._bus_data
+        res = ol.bus
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        ld = self._link_data
+        res = ol.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        res = nl.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        return start - time
+
+    def charge_fetch_owner_remote(
+        self, node: int, home: int, owner: int, time: int,
+        background: bool = False,
+    ) -> int:
+        """Three-party owner fetch: bus(hdr), hop(node->home, hdr),
+        directory, hop(home->owner, hdr), bus(owner, data),
+        hop(owner->node, data)."""
+        if not self._enabled:
+            return 0
+        links = self.background if background else self.nodes
+        nl = links[node]
+        hl = links[home]
+        ol = links[owner]
+        hdr = self._bus_header
+        res = nl.bus
+        start = time if time > res._next_free else res._next_free
+        res._next_free = start + hdr
+        res._busy_total += hdr
+        res._transactions += 1
+        t = start
+        lh = self._link_header
+        res = nl.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        res = hl.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        t = start
+        occ = self._directory_occupancy
+        res = hl.directory_ctl
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        res = hl.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        res = ol.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + lh
+        res._busy_total += lh
+        res._transactions += 1
+        t = start
+        occ = self._bus_data
+        res = ol.bus
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + occ
+        res._busy_total += occ
+        res._transactions += 1
+        t = start
+        ld = self._link_data
+        res = ol.link_out
+        start = t if t > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        res = nl.link_in
+        start = start if start > res._next_free else res._next_free
+        res._next_free = start + ld
+        res._busy_total += ld
+        res._transactions += 1
+        return start - time
 
     # -- fault-layer charges ------------------------------------------------
 

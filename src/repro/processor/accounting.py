@@ -33,6 +33,20 @@ class Bucket(enum.Enum):
     ALL_IDLE = "all_idle"
     NO_SWITCH = "no_switch"
 
+    # Members are singletons, so the identity hash is consistent with
+    # equality; it avoids the pure-Python ``Enum.__hash__`` on every
+    # bucket-keyed dict operation in the accounting hot path.
+    __hash__ = object.__hash__
+
+
+#: Stable positional slot for each bucket.  The processor's execution
+#: loop charges cycles into a plain list indexed by these slots (one
+#: C-level list write per charge) and materializes a
+#: :class:`TimeBreakdown` on demand; both views list buckets in
+#: declaration order, so the mapping is a bijection.
+BUCKET_LIST = tuple(Bucket)
+BUCKET_SLOT = {bucket: slot for slot, bucket in enumerate(BUCKET_LIST)}
+
 
 #: Which stall bucket the demand latency of each protocol event class
 #: lands in, keyed by :class:`~repro.coherence.table.ProtoEvent` *value*

@@ -29,6 +29,7 @@ class Context:
         "block_cause",
         "block_start",
         "ops_executed",
+        "on_grant",
     )
 
     def __init__(self, index: int, process_id: int, thread: Iterator[Op]) -> None:
@@ -40,6 +41,10 @@ class Context:
         self.block_cause: Bucket = Bucket.READ_STALL
         self.block_start = 0
         self.ops_executed = 0
+        #: Cached grant callback (the closure is identical for every
+        #: sync operation of this context, so the processor builds it
+        #: once); trace-wrapped grants wrap it per operation.
+        self.on_grant = None
 
     def next_op(self) -> Optional[Op]:
         """Advance the thread; None when the process has finished."""

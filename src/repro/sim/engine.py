@@ -10,6 +10,11 @@ processor model decide whether it may keep executing *inline* (no event
 round-trip) because no other event in the system can fire before the
 processor's own local time.  This is the key fast path: streams of cache
 hits cost zero heap operations.
+
+This heap implementation is the *reference* backend.  A drop-in indexed
+event wheel (:class:`repro.sim.wheel.WheelEventEngine`) provides the same
+API and bit-identical behaviour at higher throughput; select between them
+with :func:`create_engine` (driven by ``MachineConfig.engine_backend``).
 """
 
 from __future__ import annotations
@@ -18,11 +23,17 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 #: Sentinel returned by :meth:`EventEngine.peek_time` when the calendar is
-#: empty — any local time compares as "not behind" this.
-TIME_INFINITY = float("inf")
+#: empty — any local time compares as "not behind" this.  An integer (not
+#: ``float("inf")``) so pclock comparisons never mix in floats; 2**63 is
+#: far beyond any reachable simulated time (the event limit bounds runs
+#: to ~2e9 events).
+TIME_INFINITY = 2**63
 
 #: Default event budget before a run is declared a livelock.
 DEFAULT_EVENT_LIMIT = 2_000_000_000
+
+#: Recognised event-calendar implementations (see :func:`create_engine`).
+ENGINE_BACKENDS = ("heap", "wheel")
 
 
 class SimulationError(RuntimeError):
@@ -40,12 +51,19 @@ class EventEngine:
     order and invokes the callbacks; callbacks typically advance a
     processor, retire a memory transaction, or release a synchronization
     primitive, and may schedule further events.
+
+    The public ``next_time`` attribute always equals the time of the
+    earliest pending event (``TIME_INFINITY`` when the calendar is
+    empty) whenever user code runs — i.e. outside the engine's own
+    internal bookkeeping.  Hot paths may read it directly instead of
+    calling :meth:`peek_time`.
     """
 
     __slots__ = (
         "_queue",
         "_seq",
         "_now",
+        "next_time",
         "_events_processed",
         "_limit",
         "_heartbeat",
@@ -57,6 +75,7 @@ class EventEngine:
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq = 0
         self._now = 0
+        self.next_time = TIME_INFINITY
         self._events_processed = 0
         self._limit = event_limit
         self._heartbeat: Optional[Callable[["EventEngine"], None]] = None
@@ -85,21 +104,21 @@ class EventEngine:
             )
         heapq.heappush(self._queue, (time, self._seq, callback))
         self._seq += 1
+        if time < self.next_time:
+            self.next_time = time
 
     def schedule_after(self, delay: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire ``delay`` pclocks from now."""
         self.schedule(self._now + delay, callback)
 
-    def peek_time(self):
+    def peek_time(self) -> int:
         """Time of the earliest pending event, or ``TIME_INFINITY``.
 
         A component whose local clock is <= this value may safely act
         inline without an event round-trip: no other event can interleave
         before its local time.
         """
-        if not self._queue:
-            return TIME_INFINITY
-        return self._queue[0][0]
+        return self.next_time
 
     @property
     def pending(self) -> int:
@@ -141,6 +160,10 @@ class EventEngine:
         while queue:
             time, _seq, callback = heapq.heappop(queue)
             self._now = time
+            if queue:
+                self.next_time = queue[0][0]
+            else:
+                self.next_time = TIME_INFINITY
             self._events_processed += 1
             if self._events_processed > self._limit:
                 raise self._limit_error(time)
@@ -155,6 +178,10 @@ class EventEngine:
         while queue and queue[0][0] <= deadline:
             time, _seq, callback = heapq.heappop(queue)
             self._now = time
+            if queue:
+                self.next_time = queue[0][0]
+            else:
+                self.next_time = TIME_INFINITY
             self._events_processed += 1
             if self._events_processed > self._limit:
                 raise self._limit_error(time)
@@ -164,3 +191,22 @@ class EventEngine:
         if self._now < deadline:
             self._now = deadline
         return self._now
+
+
+def create_engine(backend: str, event_limit: int = DEFAULT_EVENT_LIMIT):
+    """Build the event calendar named by ``backend``.
+
+    ``"heap"`` is the reference :class:`EventEngine`; ``"wheel"`` is the
+    indexed event wheel, proven bit-identical by the differential battery
+    in ``tests/test_engine_wheel.py``.
+    """
+    if backend == "heap":
+        return EventEngine(event_limit=event_limit)
+    if backend == "wheel":
+        # Imported lazily: wheel.py imports the error types from here.
+        from repro.sim.wheel import WheelEventEngine
+
+        return WheelEventEngine(event_limit=event_limit)
+    raise ValueError(
+        f"unknown engine backend {backend!r}; expected one of {ENGINE_BACKENDS}"
+    )

@@ -14,6 +14,7 @@ process ``i`` is homed at node ``i % P``.
 
 from __future__ import annotations
 
+import gc
 from typing import Optional
 
 from repro.coherence import CoherenceProtocol, Directory, NodeCaches
@@ -23,7 +24,7 @@ from repro.consistency import policy_for
 from repro.interconnect import Interconnect
 from repro.memlayout import SharedMemoryAllocator
 from repro.processor import Context, Processor
-from repro.sim.engine import DEFAULT_EVENT_LIMIT, DeadlockError, EventEngine
+from repro.sim.engine import DEFAULT_EVENT_LIMIT, DeadlockError, create_engine
 from repro.sync import BarrierManager, FlagManager, LockManager, SyncCosts
 from repro.system.memiface import NodeMemoryInterface
 from repro.system.results import (
@@ -40,10 +41,11 @@ class Machine:
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
-        self.engine = EventEngine(
+        self.engine = create_engine(
+            config.engine_backend,
             event_limit=config.max_events
             if config.max_events is not None
-            else DEFAULT_EVENT_LIMIT
+            else DEFAULT_EVENT_LIMIT,
         )
         self.allocator = SharedMemoryAllocator(
             num_nodes=config.num_processors, page_bytes=config.page_bytes
@@ -172,9 +174,17 @@ class Machine:
             processor.start()
         if watchdog is not None:
             watchdog.attach(self.engine)
+        # The event loop allocates only short-lived objects that die at
+        # reference-count zero; generational GC passes over the live
+        # machine graph are pure overhead during the drain.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             self.engine.run()
         finally:
+            if gc_was_enabled:
+                gc.enable()
             if watchdog is not None:
                 watchdog.detach(self.engine)
 

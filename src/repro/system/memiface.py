@@ -17,14 +17,29 @@ buffer is bypassed entirely and the processor stalls to completion.
 
 from __future__ import annotations
 
+from functools import partial
+
 from collections import deque
 from typing import Deque, Dict, NamedTuple, Optional
 
 from repro.caches import MSHRTable, OutstandingMiss
 from repro.coherence import AccessClass, CoherenceProtocol
+from repro.coherence.protocol import (
+    _READ_HIT_FILLS,
+    _READ_HIT_RULE_BY_INT,
+    _WRITE_HIT_FILLS,
+    _WRITE_HIT_RULE,
+)
+from repro.coherence.table import ProtocolTableError
 from repro.config import MachineConfig
 from repro.consistency import ConsistencyPolicy
-from repro.sim.engine import EventEngine
+from repro.sim.engine import TIME_INFINITY, EventEngine
+
+_PRIMARY_HIT = AccessClass.PRIMARY_HIT
+_SECONDARY_HIT = AccessClass.SECONDARY_HIT
+
+#: Expiry watermark sentinel: nothing pending matures before this.
+_NEVER = TIME_INFINITY
 
 
 class ReadResult(NamedTuple):
@@ -47,6 +62,14 @@ class PrefetchResult(NamedTuple):
     buffer_full_stall: int
     #: True if the prefetch was dropped (line present / already in flight).
     discarded: bool
+
+
+#: Frame-free constructors, one per result type: build through the C
+#: ``tuple.__new__`` (what the generated ``__new__`` ultimately calls),
+#: with no Python frame per access — same type, same fields.
+_MK_READ = partial(tuple.__new__, ReadResult)
+_MK_WRITE = partial(tuple.__new__, WriteResult)
+_MK_PREFETCH = partial(tuple.__new__, PrefetchResult)
 
 
 class NodeMemoryInterface:
@@ -90,6 +113,54 @@ class NodeMemoryInterface:
         # processor out for `prefetch_fill_stall` cycles each.
         self._fill_arrivals: list = []
 
+        # Hot-path scalars and aliases.  The MSHR's dict is mutated in
+        # place and never rebound, so aliasing it here is safe; the read
+        # path probes it on every access.
+        self._misses = self.mshr._misses
+        self._line_bytes = config.line_bytes
+        self._bypass = bool(config.write_buffer_bypass and policy.reads_bypass_writes)
+        self._cached = bool(config.caching_shared_data)
+        #: True whenever any of the expiry-swept collections (write
+        #: buffer, prefetch queue, MSHR) might be non-empty — one flag
+        #: probe on the hot path instead of five container checks.  Set
+        #: at every enqueue site, recomputed by ``_expire``.
+        self._busy = False
+        #: Earliest time any tracked entry matures.  While ``now`` is
+        #: before this watermark no entry can have expired, so the
+        #: sweep is skipped outright; every enqueue site lowers it,
+        #: ``_expire`` recomputes it from the survivors.
+        self._next_expiry = _NEVER
+        self._wb_depth = config.write_buffer_depth
+        self._max_wb = config.max_outstanding_writes
+
+        # Fused hit probe (see read/write): when the protocol's packed
+        # fast path is live, the hit checks run inline here — identical
+        # counters and latencies, minus two call frames per access.  The
+        # per-call gates disable it the moment anything wraps
+        # ``protocol.read``/``protocol.write`` (the sanitizer, the
+        # litmus recorder, and the fault injector all install instance
+        # attributes) or installs a memory-event trace, so every
+        # observer sees the classic path.  The aliased containers
+        # (``_fast_info``, the stats dicts) are mutated in place and
+        # never rebound.
+        self._pdict = protocol.__dict__
+        self._fuse = bool(getattr(protocol, "_fast", False))
+        if self._fuse:
+            self._finfo = protocol._fast_info
+            self._pri_sets = protocol._pri_sets
+            self._sec_sets = protocol._sec_sets
+            self._stats = protocol.stats
+            self._reads = protocol.stats.reads_by_class
+            self._writes = protocol.stats.writes_by_class
+            self._lat_rph = protocol._lat_read_primary_hit
+            self._lat_rfs = protocol._lat_read_fill_secondary
+            self._lat_wos = protocol._lat_write_owned_secondary
+        else:
+            self._finfo = None
+            self._pri_sets = self._sec_sets = 0
+            self._stats = self._reads = self._writes = None
+            self._lat_rph = self._lat_rfs = self._lat_wos = 0
+
         # Counters
         self.write_buffer_full_stall_cycles = 0
         self.prefetch_buffer_full_stall_cycles = 0
@@ -101,32 +172,66 @@ class NodeMemoryInterface:
     # -- lazy expiry helpers ------------------------------------------------
 
     def _expire(self, now: int) -> None:
+        if now < self._next_expiry:
+            return  # nothing has matured since the last sweep
         wb = self._wb_retires
         while wb and wb[0] <= now:
             wb.popleft()
         pf = self._pf_queue
         while pf and pf[0] <= now:
             pf.popleft()
-        if self._wb_completions and min(self._wb_completions) <= now:
-            self._wb_completions = [t for t in self._wb_completions if t > now]
-        if self._wb_lines:
-            dead = [line for line, t in self._wb_lines.items() if t <= now]
+        comps = self._wb_completions
+        if comps and min(comps) <= now:
+            comps = self._wb_completions = [t for t in comps if t > now]
+        lines = self._wb_lines
+        if lines:
+            dead = [line for line, t in lines.items() if t <= now]
             for line in dead:
-                del self._wb_lines[line]
-        mshr = self.mshr
-        if len(mshr):
-            for line in mshr.outstanding_lines():
-                miss = mshr.lookup(line)
-                if miss is not None and miss.complete_time <= now:
-                    mshr.retire(line)
+                del lines[line]
+        misses = self._misses
+        if misses:
+            done = [line for line, m in misses.items() if m.complete_time <= now]
+            if done:
+                retire = self.mshr.retire
+                for line in done:
+                    retire(line)
+        self._busy = bool(
+            wb or pf or comps or lines or misses
+        )
+        # Watermark for the next sweep: the earliest maturity among the
+        # survivors (every container is small; the write buffer and
+        # prefetch queue are time-ordered, so their heads suffice).
+        horizon = _NEVER
+        if wb and wb[0] < horizon:
+            horizon = wb[0]
+        if pf and pf[0] < horizon:
+            horizon = pf[0]
+        if comps:
+            earliest = min(comps)
+            if earliest < horizon:
+                horizon = earliest
+        if lines:
+            earliest = min(lines.values())
+            if earliest < horizon:
+                horizon = earliest
+        if misses:
+            for miss in misses.values():
+                if miss.complete_time < horizon:
+                    horizon = miss.complete_time
+        self._next_expiry = horizon
 
     # -- reads ---------------------------------------------------------------
 
     def read(self, addr: int, now: int) -> ReadResult:
-        self._expire(now)
-        line = self.protocol.line_of(addr)
+        # Expiry only has work to do when something is actually pending;
+        # the flag keeps the dominant case (quiet interface, primary
+        # hit) free of the sweep entirely.
+        if self._busy:
+            self._expire(now)
+        misses = self._misses
+        line = addr - addr % self._line_bytes
 
-        miss = self.mshr.lookup(line)
+        miss = misses.get(line)
         if miss is not None:
             # Combine with the in-flight transaction (Section 5.1): the
             # reference completes as soon as the earlier response returns.
@@ -139,13 +244,9 @@ class NodeMemoryInterface:
                     self.node, addr, now, ready, source="combine",
                     access_class=AccessClass.SECONDARY_HIT.value,
                 )
-            return ReadResult(ready, AccessClass.SECONDARY_HIT, miss.is_prefetch)
+            return _MK_READ((ready, AccessClass.SECONDARY_HIT, miss.is_prefetch))
 
-        if (
-            self.config.write_buffer_bypass
-            and self.policy.reads_bypass_writes
-            and line in self._wb_lines
-        ):
+        if self._bypass and line in self._wb_lines:
             # Same-line forward out of the write buffer: free.
             self.store_forwards += 1
             lat = self.config.latency.read_primary_hit
@@ -155,62 +256,155 @@ class NodeMemoryInterface:
                     access_class=AccessClass.PRIMARY_HIT.value,
                     rf_eid=self.trace.buffered_writer(self.node, line),
                 )
-            return ReadResult(now + lat, AccessClass.PRIMARY_HIT, False)
+            return _MK_READ((now + lat, AccessClass.PRIMARY_HIT, False))
 
-        if not self.config.caching_shared_data:
+        if not self._cached:
             outcome = self.protocol.read_uncached(self.node, addr, now)
             if self.trace is not None:
                 self.trace.record_read(
                     self.node, addr, now, outcome.retire, source="uncached",
                     access_class=outcome.access_class.value,
                 )
-            return ReadResult(outcome.retire, outcome.access_class, False)
+            return _MK_READ((outcome.retire, outcome.access_class, False))
 
-        outcome = self.protocol.read(self.node, addr, now)
-        if outcome.access_class not in (
-            AccessClass.PRIMARY_HIT,
-            AccessClass.SECONDARY_HIT,
+        proto = self.protocol
+        if (
+            self._fuse
+            and self.trace is None
+            and proto.trace is None
+            and "read" not in self._pdict
         ):
-            self.mshr.add(
-                OutstandingMiss(
-                    line=line,
-                    exclusive=False,
-                    issue_time=now,
-                    complete_time=outcome.retire,
-                    is_prefetch=False,
-                )
-            )
+            # Fused packed probe — bit-identical to protocol.read's
+            # fast path (same counter bumps, same latencies, same
+            # table-sanity raise); see the gate comment in __init__.
+            node = self.node
+            info = self._finfo[node]
+            word = line // self._line_bytes
+            index = word % self._pri_sets
+            if info[0][index] == line and info[1][index]:
+                info[2].hits += 1
+                reads = self._reads
+                reads[_PRIMARY_HIT] = reads.get(_PRIMARY_HIT, 0) + 1
+                return _MK_READ((now + self._lat_rph, _PRIMARY_HIT, False))
+            info[2].misses += 1
+            sindex = word % self._sec_sets
+            state = info[4][sindex] if info[3][sindex] == line else 0
+            if state:
+                info[5].hits += 1
+                if not _READ_HIT_FILLS[state]:
+                    rule = _READ_HIT_RULE_BY_INT[state]
+                    raise ProtocolTableError(
+                        f"read-hit rule does not fill from cache: "
+                        f"{rule.describe()}"
+                    )
+                # Packed primary fill (``_install_primary`` inlined:
+                # write-through level, silent eviction, counter kept).
+                ptags = info[0]
+                pstates = info[1]
+                if pstates[index] and ptags[index] != line:
+                    info[2].evictions += 1
+                ptags[index] = line
+                pstates[index] = 1  # LineState.SHARED
+                reads = self._reads
+                reads[_SECONDARY_HIT] = reads.get(_SECONDARY_HIT, 0) + 1
+                return _MK_READ((now + self._lat_rfs, _SECONDARY_HIT, False))
+            info[5].misses += 1
+            outcome = proto._read_fill(node, line, now)
+            self._stats.count_read(outcome.access_class)
+            retire = outcome[0]
+            self.mshr.add(OutstandingMiss(line, False, now, retire, False))
+            self._busy = True
+            if retire < self._next_expiry:
+                self._next_expiry = retire
+            return _MK_READ((retire, outcome[2], False))
+        outcome = proto.read(self.node, addr, now)
+        retire = outcome[0]
+        access_class = outcome[2]
+        if access_class is not _PRIMARY_HIT and access_class is not _SECONDARY_HIT:
+            self.mshr.add(OutstandingMiss(line, False, now, retire, False))
+            self._busy = True
+            if retire < self._next_expiry:
+                self._next_expiry = retire
         if self.trace is not None:
             self.trace.record_read(
-                self.node, addr, now, outcome.retire, source="memory",
-                access_class=outcome.access_class.value,
+                self.node, addr, now, retire, source="memory",
+                access_class=access_class.value,
             )
-        return ReadResult(outcome.retire, outcome.access_class, False)
+        return _MK_READ((retire, access_class, False))
 
     # -- writes --------------------------------------------------------------
 
     def write(self, addr: int, now: int) -> WriteResult:
-        self._expire(now)
-        if not self.config.caching_shared_data:
+        if self._busy:
+            self._expire(now)
+        if not self._cached:
             return self._write_uncached(addr, now)
         if self.policy.write_stalls_processor:
-            outcome = self.protocol.write(self.node, addr, now)
             # SC: the processor stalls until the write completes with
             # respect to all processors — ownership plus invalidation
             # acknowledgements when other copies existed.
-            return WriteResult(outcome.complete, 0, outcome.access_class)
-        return self._write_buffered(addr, now, self.protocol.write)
+            hit = self._fused_write_hit(addr, now)
+            if hit is not None:
+                return _MK_WRITE((hit, 0, _SECONDARY_HIT))
+            outcome = self.protocol.write(self.node, addr, now)
+            return _MK_WRITE((outcome.complete, 0, outcome.access_class))
+        return self._write_buffered(
+            addr, now, self.protocol.write, fuse_hits=True
+        )
+
+    def _fused_write_hit(self, addr: int, now: int) -> Optional[int]:
+        """Inline secondary-owned write hit: the retire time, or None
+        when the line is not DIRTY here (or the fuse gate is closed).
+
+        Bit-identical to protocol.write's owned-hit fast path — same
+        counter bumps, same primary refresh, same table-sanity raise;
+        see the gate comment in __init__.  Counters are only touched
+        once the hit is established, so a ``None`` return leaves the
+        classic path's accounting untouched.
+        """
+        proto = self.protocol
+        if (
+            not self._fuse
+            or self.trace is not None
+            or proto.trace is not None
+            or "write" in self._pdict
+        ):
+            return None
+        line = addr - addr % self._line_bytes
+        info = self._finfo[self.node]
+        word = line // self._line_bytes
+        sindex = word % self._sec_sets
+        if info[3][sindex] != line or info[4][sindex] != 2:
+            return None  # not DIRTY in the secondary: classic path
+        if not _WRITE_HIT_FILLS:
+            raise ProtocolTableError(
+                "write-hit rule does not fill from cache: "
+                f"{_WRITE_HIT_RULE.describe()}"
+            )
+        info[5].hits += 1
+        stats = self._stats
+        stats.writes_total += 1
+        stats.writes_line_present += 1
+        # Write-through primary: refresh the copy if present.
+        pindex = word % self._pri_sets
+        if info[0][pindex] == line and info[1][pindex]:
+            info[1][pindex] = 1  # LineState.SHARED
+        writes = self._writes
+        writes[_SECONDARY_HIT] = writes.get(_SECONDARY_HIT, 0) + 1
+        return now + self._lat_wos
 
     def _write_uncached(self, addr: int, now: int) -> WriteResult:
         if self.policy.write_stalls_processor:
             outcome = self.protocol.write_uncached(self.node, addr, now)
-            return WriteResult(outcome.complete, 0, outcome.access_class)
+            return _MK_WRITE((outcome.complete, 0, outcome.access_class))
         return self._write_buffered(addr, now, self.protocol.write_uncached)
 
-    def _write_buffered(self, addr: int, now: int, transact) -> WriteResult:
+    def _write_buffered(
+        self, addr: int, now: int, transact, fuse_hits: bool = False
+    ) -> WriteResult:
         """RC path: enqueue in the write buffer, drain eagerly."""
         full_stall = 0
-        if len(self._wb_retires) >= self.config.write_buffer_depth:
+        if len(self._wb_retires) >= self._wb_depth:
             free_at = self._wb_retires.popleft()
             full_stall = free_at - now
             self.write_buffer_full_stall_cycles += full_stall
@@ -218,28 +412,42 @@ class NodeMemoryInterface:
             self._expire(now)
 
         issue = now
-        if len(self._wb_inflight) >= self.config.max_outstanding_writes:
+        if len(self._wb_inflight) >= self._max_wb:
             issue = max(issue, self._wb_inflight.popleft())
-        while len(self._wb_inflight) >= self.config.max_outstanding_writes:
+        while len(self._wb_inflight) >= self._max_wb:
             self._wb_inflight.popleft()
 
         # Buffered writes drain on the background resource chain: DASH
-        # gives demand reads priority over the write buffer.
-        outcome = transact(self.node, addr, issue, background=True)
-        retire = max(outcome.retire, self._wb_last_retire)
+        # gives demand reads priority over the write buffer.  Owned
+        # hits never touch the network, so the fused probe applies
+        # unchanged at the buffered issue time.
+        hit = self._fused_write_hit(addr, issue) if fuse_hits else None
+        if hit is not None:
+            outcome_retire = hit
+            outcome_complete = hit
+            outcome_class = _SECONDARY_HIT
+        else:
+            outcome = transact(self.node, addr, issue, background=True)
+            outcome_retire = outcome.retire
+            outcome_complete = outcome.complete
+            outcome_class = outcome.access_class
+        retire = max(outcome_retire, self._wb_last_retire)
         self._wb_last_retire = retire
         self._wb_retires.append(retire)
         self._wb_inflight.append(retire)
-        complete = max(outcome.complete, retire)
+        complete = max(outcome_complete, retire)
         if complete > now:
             self._wb_completions.append(complete)
-        line = self.protocol.line_of(addr)
+        line = addr - addr % self._line_bytes
         self._wb_lines[line] = retire
+        self._busy = True
+        if retire < self._next_expiry:
+            self._next_expiry = retire
         if self.trace is not None:
             # The write just recorded by the protocol hook is now the
             # buffered entry same-line reads would forward from.
             self.trace.note_buffered_line(self.node, line)
-        return WriteResult(now + 1, full_stall, outcome.access_class)
+        return _MK_WRITE((now + 1, full_stall, outcome_class))
 
     # -- releases -------------------------------------------------------------
 
@@ -273,7 +481,7 @@ class NodeMemoryInterface:
         if existing is not None and (existing.exclusive or not exclusive):
             # Already in flight with sufficient permission: drop.
             self.prefetches_discarded += 1
-            return PrefetchResult(full_stall, True)
+            return _MK_PREFETCH((full_stall, True))
 
         # The prefetch occupies a buffer slot until it issues; issues are
         # serialized through the node bus.
@@ -284,11 +492,14 @@ class NodeMemoryInterface:
             issue = max(now, self._pf_last_issue + gap)
         self._pf_last_issue = issue
         self._pf_queue.append(issue)
+        self._busy = True
+        if issue < self._next_expiry:
+            self._next_expiry = issue
 
         outcome = self.protocol.prefetch(self.node, addr, exclusive, issue)
         if outcome is None:
             self.prefetches_discarded += 1
-            return PrefetchResult(full_stall, True)
+            return _MK_PREFETCH((full_stall, True))
 
         self.prefetches_sent += 1
         if existing is not None:
@@ -303,9 +514,11 @@ class NodeMemoryInterface:
                 is_prefetch=True,
             )
         )
+        if outcome.retire < self._next_expiry:
+            self._next_expiry = outcome.retire
         # The returning fill locks the processor out of the primary cache.
         self._fill_arrivals.append(outcome.retire)
-        return PrefetchResult(full_stall, False)
+        return _MK_PREFETCH((full_stall, False))
 
     # -- fill lockout -------------------------------------------------------------
 

@@ -1,0 +1,438 @@
+"""Differential battery: the indexed event wheel vs the reference heap.
+
+The wheel backend (:class:`repro.sim.wheel.WheelEventEngine`) claims to
+be a drop-in replacement for the heap calendar — same API, same error
+surfaces, bit-identical fire order including FIFO same-time ties.  These
+tests prove it two ways:
+
+* targeted unit tests for every contract corner the wheel implements
+  differently from the heap (the far-vs-bucket tie rule, the occupancy
+  bitmap wraparound, exception restoration in multi-entry buckets,
+  ``run_until`` at the deadline boundary, heartbeats, event limits);
+
+* a derandomized Hypothesis battery that drives random
+  schedule/``run_until``/heartbeat programs — including callbacks that
+  schedule further events across the wheel horizon — through both
+  engines side by side and asserts identical fire order, ``now``,
+  ``pending``, ``events_processed``, ``peek_time`` and identical
+  ``SimulationError`` strings.
+
+Every observable the processor model leans on (notably the exact
+``next_time`` invariant that gates inline batching) is covered by the
+lockstep snapshots.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    DEFAULT_EVENT_LIMIT,
+    TIME_INFINITY,
+    DeadlockError,
+    EventEngine,
+    SimulationError,
+    create_engine,
+)
+from repro.sim.wheel import WHEEL_SLOTS, WheelEventEngine
+
+BACKENDS = ("heap", "wheel")
+
+
+def both_engines(event_limit=DEFAULT_EVENT_LIMIT):
+    return (
+        EventEngine(event_limit=event_limit),
+        WheelEventEngine(event_limit=event_limit),
+    )
+
+
+def snapshot(engine):
+    return (
+        engine.now,
+        engine.pending,
+        engine.events_processed,
+        engine.peek_time(),
+        engine.next_time,
+    )
+
+
+class TestFactory:
+    def test_create_engine_backends(self):
+        assert isinstance(create_engine("heap"), EventEngine)
+        assert isinstance(create_engine("wheel"), WheelEventEngine)
+
+    def test_create_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            create_engine("calendar")
+
+    def test_time_infinity_is_an_integer(self):
+        # The empty-calendar sentinel must be an int: peek_time feeds
+        # straight into pclock comparisons in the processor's inline
+        # batching path, and a float('inf') would silently promote
+        # integer time arithmetic to floats.
+        assert type(TIME_INFINITY) is int
+        for engine in both_engines():
+            assert engine.peek_time() == TIME_INFINITY
+            assert type(engine.peek_time()) is int
+
+
+class TestBasicParity:
+    def test_empty_run(self):
+        for engine in both_engines():
+            assert engine.run() == 0
+            assert snapshot(engine) == (0, 0, 0, TIME_INFINITY, TIME_INFINITY)
+
+    def test_fifo_ties_within_one_time(self):
+        logs = []
+        for engine in both_engines():
+            log = []
+            for tag in range(5):
+                engine.schedule(7, lambda tag=tag: log.append(tag))
+            engine.run()
+            logs.append((log, snapshot(engine)))
+        assert logs[0] == logs[1]
+        assert logs[0][0] == [0, 1, 2, 3, 4]
+
+    def test_far_before_bucket_on_equal_time(self):
+        """An event beyond the horizon at time T is by construction
+        older than any bucket entry at T (their schedule-time horizons
+        cannot overlap), so it must fire first — exactly the heap's
+        global FIFO."""
+        target = WHEEL_SLOTS + 70
+        logs = []
+        for engine in both_engines():
+            log = []
+            # Scheduled at now=0: target is past the wheel horizon.
+            engine.schedule(target, lambda: log.append("far"))
+            # A stepping stone inside the horizon; its callback
+            # schedules a *near* event for the same absolute time.
+            engine.schedule(
+                target - 10,
+                lambda: engine.schedule(target, lambda: log.append("near")),
+            )
+            engine.run()
+            logs.append((log, snapshot(engine)))
+        assert logs[0] == logs[1]
+        assert logs[0][0] == ["far", "near"]
+
+    def test_wraparound_keeps_time_order(self):
+        """Bucket indices wrap modulo WHEEL_SLOTS; absolute fire order
+        must not."""
+        times = [0, 3, WHEEL_SLOTS - 1, WHEEL_SLOTS + 3, 3 * WHEEL_SLOTS + 1]
+        logs = []
+        for engine in both_engines():
+            log = []
+
+            def chain(t, engine=engine, log=log):
+                log.append(t)
+                pending = [u for u in times if u > t]
+                if pending:
+                    engine.schedule(pending[0], lambda: chain(pending[0]))
+
+            engine.schedule(times[0], lambda: chain(times[0]))
+            engine.run()
+            logs.append((log, snapshot(engine)))
+        assert logs[0] == logs[1]
+        assert logs[0][0] == times
+
+    def test_schedule_in_past_identical_error(self):
+        for engine in both_engines():
+            engine.schedule(10, lambda: None)
+            engine.run()
+        messages = []
+        for engine in both_engines():
+            engine.schedule(10, lambda: None)
+            engine.run()
+            with pytest.raises(SimulationError) as excinfo:
+                engine.schedule(9, lambda: None)
+            messages.append(str(excinfo.value))
+            assert snapshot(engine) == (10, 0, 1, TIME_INFINITY, TIME_INFINITY)
+        assert messages[0] == messages[1]
+
+    def test_schedule_after(self):
+        logs = []
+        for engine in both_engines():
+            log = []
+            engine.schedule(5, lambda: engine.schedule_after(3, lambda: log.append(engine.now)))
+            engine.run()
+            logs.append((log, snapshot(engine)))
+        assert logs[0] == logs[1]
+        assert logs[0][0] == [8]
+
+
+class TestRunUntil:
+    def test_deadline_is_inclusive(self):
+        logs = []
+        for engine in both_engines():
+            log = []
+            for t in (3, 5, 5, 7):
+                engine.schedule(t, lambda t=t: log.append(t))
+            returned = engine.run_until(5)
+            logs.append((log[:], returned, snapshot(engine)))
+            engine.run()
+            logs.append((log, snapshot(engine)))
+        assert logs[0] == logs[2]
+        assert logs[1] == logs[3]
+        assert logs[0][0] == [3, 5, 5]
+        assert logs[0][1] == 5
+
+    def test_now_advances_to_deadline_when_idle(self):
+        for engine in both_engines():
+            assert engine.run_until(42) == 42
+            assert engine.now == 42
+            # The clock never runs backwards on a stale deadline.
+            assert engine.run_until(17) == 42
+
+    def test_resume_after_deadline(self):
+        logs = []
+        for engine in both_engines():
+            log = []
+            engine.schedule(WHEEL_SLOTS + 9, lambda: log.append("late"))
+            engine.run_until(WHEEL_SLOTS)
+            state_mid = snapshot(engine)
+            engine.run_until(2 * WHEEL_SLOTS)
+            logs.append((log, state_mid, snapshot(engine)))
+        assert logs[0] == logs[1]
+        assert logs[0][0] == ["late"]
+
+
+class TestHeartbeat:
+    def test_fires_every_n_events(self):
+        logs = []
+        for engine in both_engines():
+            beats = []
+            engine.set_heartbeat(
+                lambda e: beats.append((e.now, e.events_processed)), every=2
+            )
+            for t in range(5):
+                engine.schedule(t, lambda: None)
+            engine.run()
+            logs.append((beats, snapshot(engine)))
+        assert logs[0] == logs[1]
+        assert logs[0][0] == [(1, 2), (3, 4)]
+
+    def test_detach(self):
+        for engine in both_engines():
+            beats = []
+            engine.set_heartbeat(lambda e: beats.append(e.now), every=1)
+            engine.schedule(1, lambda: None)
+            engine.run()
+            engine.set_heartbeat(None)
+            engine.schedule(2, lambda: None)
+            engine.run()
+            assert beats == [1]
+
+    def test_nonpositive_interval_rejected(self):
+        for engine in both_engines():
+            with pytest.raises(ValueError):
+                engine.set_heartbeat(lambda e: None, every=0)
+            # Detaching with a nonpositive interval is fine.
+            engine.set_heartbeat(None, every=0)
+
+    def test_heartbeat_abort_propagates(self):
+        class Abort(SimulationError):
+            pass
+
+        outcomes = []
+        for engine in both_engines():
+
+            def beat(e):
+                raise Abort(f"aborted at {e.events_processed}")
+
+            engine.set_heartbeat(beat, every=3)
+            for t in range(6):
+                engine.schedule(t, lambda: None)
+            with pytest.raises(Abort) as excinfo:
+                engine.run()
+            outcomes.append((str(excinfo.value), snapshot(engine)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestEventLimit:
+    def test_limit_error_identical(self):
+        outcomes = []
+        for engine in both_engines(event_limit=10):
+
+            def respawn():
+                engine.schedule_after(1, respawn)
+
+            engine.schedule(0, respawn)
+            # Background events so the pending count in the message is
+            # exercised, not just zero.
+            engine.schedule(1000, lambda: None)
+            engine.schedule(WHEEL_SLOTS * 3, lambda: None)
+            with pytest.raises(SimulationError) as excinfo:
+                engine.run()
+            outcomes.append((str(excinfo.value), snapshot(engine)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestExceptionConsistency:
+    """A callback exception must leave the calendar consistent enough to
+    resume: survivors stay pending and fire in the original order."""
+
+    @pytest.mark.parametrize("exc_type", [DeadlockError, SimulationError])
+    def test_multi_entry_bucket_restores_survivors(self, exc_type):
+        outcomes = []
+        for engine in both_engines():
+            log = []
+
+            def boom():
+                raise exc_type("stalled mid-bucket")
+
+            engine.schedule(4, lambda: log.append("a"))
+            engine.schedule(4, boom)
+            engine.schedule(4, lambda: log.append("c"))
+            engine.schedule(9, lambda: log.append("d"))
+            with pytest.raises(exc_type) as excinfo:
+                engine.run()
+            mid = (str(excinfo.value), log[:], snapshot(engine))
+            engine.run()
+            outcomes.append((mid, log, snapshot(engine)))
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][1] == ["a", "c", "d"]
+
+    def test_singleton_exception_consumes_event(self):
+        outcomes = []
+        for engine in both_engines():
+
+            def boom():
+                raise DeadlockError("lone event")
+
+            engine.schedule(5, boom)
+            engine.schedule(11, lambda: None)
+            with pytest.raises(DeadlockError):
+                engine.run()
+            mid = snapshot(engine)
+            engine.run()
+            outcomes.append((mid, snapshot(engine)))
+        assert outcomes[0] == outcomes[1]
+
+
+# -- the randomized differential battery --------------------------------------
+
+#: Deltas biased toward the interesting boundaries: dense same-time
+#: traffic near zero, the wheel horizon (bucket vs far classification),
+#: and far beyond it.
+_DELTAS = st.one_of(
+    st.integers(0, 6),
+    st.integers(WHEEL_SLOTS - 4, WHEEL_SLOTS + 4),
+    st.integers(2 * WHEEL_SLOTS, 2 * WHEEL_SLOTS + 300),
+)
+
+#: A spawn tree: what a fired callback schedules next, two levels deep,
+#: so schedules are issued from inside run() at moving values of now —
+#: the case the wheel's occupancy bookkeeping has to get right.
+_SPAWNS = st.lists(
+    st.tuples(_DELTAS, st.lists(st.tuples(_DELTAS, st.just(())), max_size=2)),
+    max_size=3,
+)
+
+_OPS = st.one_of(
+    st.tuples(st.just("sched"), _DELTAS, _SPAWNS),
+    st.tuples(st.just("run")),
+    st.tuples(st.just("run_until"), st.integers(0, 2 * WHEEL_SLOTS + 300)),
+    st.tuples(st.just("heartbeat"), st.integers(1, 4)),
+    st.tuples(st.just("heartbeat_off")),
+)
+
+_PROGRAMS = st.lists(_OPS, min_size=1, max_size=24)
+
+
+def drive(engine, program):
+    """Interpret one generated program against ``engine``; return the
+    fire log and the per-op state snapshots."""
+    log = []
+
+    def make_callback(path, spawns):
+        def callback():
+            log.append((path, engine.now, engine.events_processed))
+            for branch, (delta, nested) in enumerate(spawns):
+                engine.schedule(
+                    engine.now + delta,
+                    make_callback(path + (branch,), nested),
+                )
+
+        return callback
+
+    def heartbeat(e):
+        log.append(("hb", e.now, e.events_processed))
+
+    snapshots = []
+    for step, op in enumerate(program):
+        kind = op[0]
+        if kind == "sched":
+            engine.schedule(engine.now + op[1], make_callback((step,), op[2]))
+        elif kind == "run":
+            engine.run()
+        elif kind == "run_until":
+            # Absolute deadline so both engines compare the same value
+            # even though their now moves in lockstep anyway.
+            engine.run_until(op[1])
+        elif kind == "heartbeat":
+            engine.set_heartbeat(heartbeat, every=op[1])
+        else:
+            engine.set_heartbeat(None)
+        snapshots.append(snapshot(engine))
+    engine.run()
+    snapshots.append(snapshot(engine))
+    return log, snapshots
+
+
+@settings(max_examples=200, derandomize=True, deadline=None)
+@given(program=_PROGRAMS)
+def test_differential_battery(program):
+    """Random schedule/run_until/heartbeat programs produce bit-identical
+    observable behaviour on both backends."""
+    heap_log, heap_snapshots = drive(EventEngine(), program)
+    wheel_log, wheel_snapshots = drive(WheelEventEngine(), program)
+    assert wheel_log == heap_log
+    assert wheel_snapshots == heap_snapshots
+
+
+@settings(max_examples=60, derandomize=True, deadline=None)
+@given(program=_PROGRAMS, limit=st.integers(1, 12))
+def test_differential_battery_under_event_limit(program, limit):
+    """With a tiny event budget both backends raise the same
+    SimulationError (or both finish) and agree on the final state."""
+    outcomes = []
+    for engine in both_engines(event_limit=limit):
+        try:
+            log, snapshots = drive(engine, program)
+            outcomes.append(("ok", log, snapshots))
+        except SimulationError as exc:
+            outcomes.append(("err", str(exc), snapshot(engine)))
+    assert outcomes[0] == outcomes[1]
+
+
+# -- integer-time regression ---------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_engine_times_stay_integral(backend, monkeypatch):
+    """No path may feed a float time into the calendar: latencies,
+    pclock arithmetic, and the TIME_INFINITY sentinel are all integer by
+    contract, and a single float would poison every downstream
+    comparison.  Wrap schedule() on a real smoke run and check every
+    scheduled time (and the engine clock) stays exactly ``int``."""
+    from repro.config import dash_scaled_config
+    from repro.experiments.registry import SMOKE_PROCESSES, smoke_program
+    from repro.system import run_program
+
+    seen = {"count": 0}
+    for cls in (EventEngine, WheelEventEngine):
+        original = cls.schedule
+
+        def checked(self, time, callback, _original=original):
+            assert type(time) is int, f"non-integer time {time!r} scheduled"
+            assert type(self.next_time) is int
+            seen["count"] += 1
+            return _original(self, time, callback)
+
+        monkeypatch.setattr(cls, "schedule", checked)
+    config = dash_scaled_config(num_processors=SMOKE_PROCESSES).replace(
+        engine_backend=backend
+    )
+    result = run_program(smoke_program("LU"), config)
+    assert type(result.execution_time) is int
+    assert seen["count"] > 0
