@@ -183,6 +183,10 @@ class CoherenceSanitizer:
         """Validate SWMR, inclusion, and directory precision for ``line``."""
         self.checks_performed += 1
         caches = self.protocol.caches
+        #: Owner-capable cache states per the active spec (M under MSI;
+        #: M or E under MESI) — the states the directory's DIRTY entry
+        #: must name the holder of.
+        owner_states = self.protocol.spec.owner_states
         holders = set()
         dirty_holder = None
         for node, node_caches in enumerate(caches):
@@ -195,11 +199,11 @@ class CoherenceSanitizer:
                     )
                 continue
             holders.add(node)
-            if state == LineState.DIRTY:
+            if state in owner_states:
                 if dirty_holder is not None:
                     self._fail(
-                        f"SWMR violated: line {line:#x} dirty at nodes "
-                        f"{dirty_holder} and {node}"
+                        f"SWMR violated: line {line:#x} exclusive/dirty at "
+                        f"nodes {dirty_holder} and {node}"
                     )
                 dirty_holder = node
         if dirty_holder is not None and holders != {dirty_holder}:

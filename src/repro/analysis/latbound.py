@@ -14,9 +14,11 @@ closed-form :class:`LatencyEnvelope` ``[min_cycles, max_cycles]`` per
 :class:`TxnClass` and consistency model, and offers three things:
 
 * **derivation** (:func:`derive_envelopes`) — walk every priced
-  :class:`~repro.coherence.table.Rule` through its
-  :data:`~repro.coherence.table.RULE_LATENCY_ANNOTATIONS` topology
-  entries, rebuild the charge path the imperative layer executes (as
+  :class:`~repro.coherence.table.Rule` through the topology entries of
+  its spec's ``latency_annotations`` (the analyzer is parametric over
+  any registered :class:`~repro.coherence.specs.ProtocolSpec`;
+  ``directory-msi`` is the default),
+  rebuild the charge path the imperative layer executes (as
   :class:`ChargeStep` sequences over the interconnect's
   :class:`~repro.interconnect.ChargeKind` resources), and compose
   ``min = base`` (queuing delays are nonnegative, so an unloaded
@@ -75,13 +77,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import Consistency, MachineConfig, dash_scaled_config
-from repro.coherence.table import (
-    DIRECTORY_PROTOCOL_TABLE,
-    Action,
-    ProtoEvent,
-    RULE_LATENCY_ANNOTATIONS,
-    TransitionTable,
-)
+from repro.coherence.table import Action, ProtoEvent, TransitionTable
 from repro.interconnect import (
     ChargeKind,
     max_occupancy,
@@ -191,7 +187,7 @@ class _ClassSpec:
     #: Transition-table rules this class prices (several rules share an
     #: envelope when their charge paths are identical).
     rules: Tuple[str, ...]
-    #: Topology key into RULE_LATENCY_ANNOTATIONS.
+    #: Topology key into the spec's latency annotations.
     topology: str
     #: LatencyTable field supplying the base, or None (computed/zero).
     base_field: Optional[str]
@@ -201,8 +197,87 @@ class _ClassSpec:
     flavor: str
 
 
-#: The table-backed transaction classes.  Prefetch spans and the
-#: sync/uncached paths are derived separately below.
+#: (rule event, annotation topology) -> (transaction class, flavor):
+#: how a spec's latency annotations project onto the Table 1 rows.
+_TOPOLOGY_CLASSES: Dict[Tuple[ProtoEvent, str], Tuple[TxnClass, str]] = {
+    (ProtoEvent.READ_HIT, "any"): (TxnClass.READ_HIT_SECONDARY, "read"),
+    (ProtoEvent.READ_MISS, "local"): (TxnClass.READ_MISS_LOCAL, "read"),
+    (ProtoEvent.READ_MISS, "home"): (TxnClass.READ_MISS_HOME, "read"),
+    (ProtoEvent.READ_MISS, "dirty-home"):
+        (TxnClass.READ_MISS_DIRTY_HOME, "read"),
+    (ProtoEvent.READ_MISS, "dirty-remote"):
+        (TxnClass.READ_MISS_DIRTY_REMOTE, "read"),
+    (ProtoEvent.WRITE_HIT, "any"): (TxnClass.WRITE_HIT_SECONDARY, "write"),
+    (ProtoEvent.WRITE_MISS, "local"): (TxnClass.WRITE_MISS_LOCAL, "write"),
+    (ProtoEvent.WRITE_MISS, "home"): (TxnClass.WRITE_MISS_HOME, "write"),
+    (ProtoEvent.WRITE_MISS, "dirty-home"):
+        (TxnClass.WRITE_MISS_DIRTY_HOME, "write"),
+    (ProtoEvent.WRITE_MISS, "dirty-remote"):
+        (TxnClass.WRITE_MISS_DIRTY_REMOTE, "write"),
+    (ProtoEvent.WRITE_UPGRADE, "local"):
+        (TxnClass.WRITE_UPGRADE_LOCAL, "write"),
+    (ProtoEvent.WRITE_UPGRADE, "home"):
+        (TxnClass.WRITE_UPGRADE_HOME, "write"),
+}
+
+
+def _derive_class_specs(spec):
+    """Project ``spec``'s rules onto the Table 1 transaction classes.
+
+    Walks the table in rule order: every annotated ``(rule, topology)``
+    pair joins the class ``_TOPOLOGY_CLASSES`` names for it, ``None``
+    bases split into the background WRITEBACK class (the rule notifies
+    the home with a write-back message) or the zero-cost set (pure
+    replacement hints).  Returns ``(class_specs, zero_cost_rules)``;
+    for ``directory-msi`` this reproduces the hand-derived
+    ``_RULE_SPECS`` exactly (pinned by a regression test).
+    """
+    grouped: Dict[TxnClass, Tuple[List[str], str, Optional[str], str]] = {}
+    zero_cost: List[str] = []
+    for rule in spec.table.rules:
+        annotated = spec.latency_annotations.get(rule.name)
+        if annotated is None:
+            continue  # the annotation-coverage pass reports the gap
+        for topo, base_field in annotated.items():
+            if base_field is None:
+                if Action.WRITEBACK_MEMORY in rule.action_set:
+                    entry = grouped.setdefault(
+                        TxnClass.WRITEBACK, ([], "any", None, "writeback")
+                    )
+                    entry[0].append(rule.name)
+                else:
+                    zero_cost.append(rule.name)
+                continue
+            try:
+                cls, flavor = _TOPOLOGY_CLASSES[(rule.event, topo)]
+            except KeyError:
+                raise ValueError(
+                    f"spec {spec.name!r}: rule {rule.name!r} annotates "
+                    f"topology {topo!r} for event {rule.event.value!r}, "
+                    f"which maps to no transaction class"
+                ) from None
+            entry = grouped.setdefault(cls, ([], topo, base_field, flavor))
+            entry[0].append(rule.name)
+    out = [_ClassSpec(TxnClass.READ_HIT_PRIMARY, (), "any",
+                      "read_primary_hit", "read")]
+    for cls in TxnClass:
+        if cls in grouped:
+            rules, topo, base_field, flavor = grouped[cls]
+            out.append(_ClassSpec(cls, tuple(rules), topo, base_field,
+                                  flavor))
+    return tuple(out), tuple(zero_cost)
+
+
+def _default_proto_spec():
+    from repro.coherence.specs import get_spec
+
+    return get_spec("directory-msi")
+
+
+#: The table-backed transaction classes of the directory-MSI protocol —
+#: the reference `_derive_class_specs` output, kept as documentation and
+#: pinned against the derivation by a regression test.  Prefetch spans
+#: and the sync/uncached paths are derived separately below.
 _RULE_SPECS: Tuple[_ClassSpec, ...] = (
     _ClassSpec(TxnClass.READ_HIT_PRIMARY, (), "any",
                "read_primary_hit", "read"),
@@ -396,14 +471,16 @@ def _build_steps(
         ):
             steps.append(_point(ChargeKind.DIRECTORY, "home", False,
                                 Action.READ_MEMORY, topo))
-        if Action.INVALIDATE_SHARERS in acts:
-            # Point-to-point invalidation fan-out: the requester retires
-            # at ownership; the acknowledgement paths are charged but
-            # never waited on (ack_cycles bounds the trailing window).
-            steps.append(_link("home", "sharer", False,
-                               Action.INVALIDATE_SHARERS, topo, hidden=True))
-            steps.append(_link("sharer", "req", False,
-                               Action.INVALIDATE_SHARERS, topo, hidden=True))
+    if Action.INVALIDATE_SHARERS in acts:
+        # Point-to-point invalidation fan-out: the requester retires
+        # at ownership; the acknowledgement paths are charged but
+        # never waited on (ack_cycles bounds the trailing window).
+        # Applies to the fetch path too — MOESI's SHARED_DIRTY write
+        # misses invalidate the extra sharers alongside the owner.
+        steps.append(_link("home", "sharer", False,
+                           Action.INVALIDATE_SHARERS, topo, hidden=True))
+        steps.append(_link("sharer", "req", False,
+                           Action.INVALIDATE_SHARERS, topo, hidden=True))
     return tuple(s for s in steps if s is not None)
 
 
@@ -512,7 +589,10 @@ def _base_for(cls: TxnClass, config: MachineConfig) -> int:
 class EnvelopeTable:
     """The derived envelopes for one config, keyed ``(model, class)``."""
 
-    __slots__ = ("config", "mutation", "envelopes", "steps")
+    __slots__ = (
+        "config", "mutation", "envelopes", "steps", "proto", "rule_specs",
+        "zero_cost",
+    )
 
     def __init__(
         self,
@@ -520,11 +600,17 @@ class EnvelopeTable:
         mutation: Optional[str],
         envelopes: Dict[Tuple[Consistency, TxnClass], LatencyEnvelope],
         steps: Dict[TxnClass, Tuple[ChargeStep, ...]],
+        proto=None,
+        rule_specs: Tuple[_ClassSpec, ...] = _RULE_SPECS,
+        zero_cost: Tuple[str, ...] = _ZERO_COST_RULES,
     ) -> None:
         self.config = config
         self.mutation = mutation
         self.envelopes = envelopes
         self.steps = steps
+        self.proto = proto if proto is not None else _default_proto_spec()
+        self.rule_specs = rule_specs
+        self.zero_cost = zero_cost
 
     def get(self, model: Consistency, cls: TxnClass) -> LatencyEnvelope:
         return self.envelopes[(model, cls)]
@@ -562,39 +648,51 @@ def derive_envelopes(
     config: Optional[MachineConfig] = None,
     mutation: Optional[str] = None,
     table: Optional[TransitionTable] = None,
+    spec=None,
 ) -> EnvelopeTable:
-    """Symbolically derive the envelope table for ``config``."""
+    """Symbolically derive the envelope table for ``config``.
+
+    ``spec`` picks the protocol (default: the registry's
+    ``directory-msi``); the transaction classes and charge paths are
+    derived from its table and latency annotations.  ``table``
+    overrides the spec's transition table (mutation tests only).
+    """
     if config is None:
         config = dash_scaled_config()
+    if spec is None:
+        spec = _default_proto_spec()
     if table is None:
-        table = DIRECTORY_PROTOCOL_TABLE
+        table = spec.table
     if mutation is not None and mutation not in LAT_MUTATIONS:
         raise ValueError(
             f"unknown latbound mutation {mutation!r} "
             f"(choose from {', '.join(LAT_MUTATIONS)})"
         )
+    rule_specs, zero_cost = _derive_class_specs(spec)
     lat = config.latency
     steps_by_class: Dict[TxnClass, Tuple[ChargeStep, ...]] = {}
     envelopes: Dict[Tuple[Consistency, TxnClass], LatencyEnvelope] = {}
 
-    for spec in _RULE_SPECS:
-        steps_by_class[spec.cls] = _build_steps(table, spec, mutation)
+    for cs in rule_specs:
+        steps_by_class[cs.cls] = _build_steps(table, cs, mutation)
     for cls in _SYNC_UNCACHED_STEPS:
         steps_by_class[cls] = _plain_steps(cls)
     steps_by_class[TxnClass.PREFETCH_SHARED] = ()
     steps_by_class[TxnClass.PREFETCH_EXCLUSIVE] = ()
+    for cls in TxnClass:  # classes the spec never reaches stay empty
+        steps_by_class.setdefault(cls, ())
 
     for model in Consistency:
-        for spec in _RULE_SPECS:
-            base = getattr(lat, spec.base_field) if spec.base_field else 0
-            steps = steps_by_class[spec.cls]
+        for cs in rule_specs:
+            base = getattr(lat, cs.base_field) if cs.base_field else 0
+            steps = steps_by_class[cs.cls]
             background = (
-                spec.flavor == "writeback"
-                or (spec.flavor == "write"
+                cs.flavor == "writeback"
+                or (cs.flavor == "write"
                     and _write_chain_background(model))
             )
             terms: List[Tuple[str, int]] = [
-                (f"base:{spec.base_field or 'hidden'}", base)
+                (f"base:{cs.base_field or 'hidden'}", base)
             ]
             ceiling = 0
             for step in steps:
@@ -607,8 +705,8 @@ def derive_envelopes(
             if any(step.action is Action.INVALIDATE_SHARERS
                    for step in steps):
                 ack = lat.invalidation_ack_remote
-            envelopes[(model, spec.cls)] = LatencyEnvelope(
-                spec.cls, model, base, base + ceiling, ack, tuple(terms)
+            envelopes[(model, cs.cls)] = LatencyEnvelope(
+                cs.cls, model, base, base + ceiling, ack, tuple(terms)
             )
         for cls in _SYNC_UNCACHED_STEPS:
             base = _base_for(cls, config)
@@ -668,7 +766,9 @@ def derive_envelopes(
                     + env.term_breakdown[1:],
                 )
 
-    return EnvelopeTable(config, mutation, envelopes, steps_by_class)
+    return EnvelopeTable(config, mutation, envelopes, steps_by_class,
+                         proto=spec, rule_specs=rule_specs,
+                         zero_cost=zero_cost)
 
 
 # -- static conformance -------------------------------------------------------
@@ -719,7 +819,7 @@ class LatBoundResult:
         verdict = "ok" if self.ok else f"{len(self.findings)} finding(s)"
         return (
             f"{classes} transaction classes x {models} consistency models "
-            f"derived from {len(DIRECTORY_PROTOCOL_TABLE.rules)} table "
+            f"derived from {len(self.table.proto.table.rules)} table "
             f"rule(s){mut}: {verdict}"
         )
 
@@ -728,36 +828,39 @@ def _path_of(steps: Tuple[ChargeStep, ...]) -> str:
     return " -> ".join(s.describe() for s in steps) or "(no charges)"
 
 
-def _check_annotations(findings: List[LatFinding]) -> None:
-    table = DIRECTORY_PROTOCOL_TABLE
+def _check_annotations(env_table: EnvelopeTable,
+                       findings: List[LatFinding]) -> None:
+    proto = env_table.proto
+    annotations = proto.latency_annotations
+    table = proto.table
     rule_names = {rule.name for rule in table.rules}
     from repro.config import LatencyTable
 
     lat_fields = {f.name for f in dataclasses.fields(LatencyTable)}
     for name in sorted(rule_names):
-        if name not in RULE_LATENCY_ANNOTATIONS:
+        if name not in annotations:
             findings.append(LatFinding(
                 "annotation-coverage",
                 f"table rule {name!r} has no latency annotation",
                 table.rule_named(name).describe(),
             ))
-    for name in sorted(RULE_LATENCY_ANNOTATIONS):
+    for name in sorted(annotations):
         if name not in rule_names:
             findings.append(LatFinding(
                 "annotation-coverage",
                 f"latency annotation names unknown rule {name!r}",
             ))
             continue
-        for topo in sorted(RULE_LATENCY_ANNOTATIONS[name]):
-            field_name = RULE_LATENCY_ANNOTATIONS[name][topo]
+        for topo in sorted(annotations[name]):
+            field_name = annotations[name][topo]
             if field_name is not None and field_name not in lat_fields:
                 findings.append(LatFinding(
                     "annotation-coverage",
                     f"rule {name!r} topology {topo!r} prices unknown "
                     f"LatencyTable field {field_name!r}",
                 ))
-    priced = set(_ZERO_COST_RULES)
-    for name in _ZERO_COST_RULES:
+    priced = set(env_table.zero_cost)
+    for name in env_table.zero_cost:
         if name in rule_names:
             rule = table.rule_named(name)
             costly = sorted(
@@ -770,18 +873,18 @@ def _check_annotations(findings: List[LatFinding]) -> None:
                     f"action(s): {', '.join(costly)}",
                     rule.describe(),
                 ))
-    for spec in _RULE_SPECS:
-        priced.update(spec.rules)
-        for rule_name in spec.rules:
-            annotated = RULE_LATENCY_ANNOTATIONS.get(rule_name, {})
-            expected = annotated.get(spec.topology, annotated.get("any"))
-            declared = spec.base_field if spec.flavor != "writeback" else None
+    for cs in env_table.rule_specs:
+        priced.update(cs.rules)
+        for rule_name in cs.rules:
+            annotated = annotations.get(rule_name, {})
+            expected = annotated.get(cs.topology, annotated.get("any"))
+            declared = cs.base_field if cs.flavor != "writeback" else None
             if expected != declared:
                 findings.append(LatFinding(
                     "annotation-coverage",
-                    f"class {spec.cls.value} prices rule {rule_name!r} "
+                    f"class {cs.cls.value} prices rule {rule_name!r} "
                     f"with {declared!r} but the annotation declares "
-                    f"{expected!r} for topology {spec.topology!r}",
+                    f"{expected!r} for topology {cs.topology!r}",
                 ))
     for name in sorted(rule_names - priced):
         findings.append(LatFinding(
@@ -791,8 +894,9 @@ def _check_annotations(findings: List[LatFinding]) -> None:
         ))
 
 
-def _check_buckets(findings: List[LatFinding]) -> None:
-    table = DIRECTORY_PROTOCOL_TABLE
+def _check_buckets(env_table: EnvelopeTable,
+                   findings: List[LatFinding]) -> None:
+    table = env_table.proto.table
     for event in ProtoEvent:
         if event.value not in BUCKET_FOR_PROTO_EVENT:
             findings.append(LatFinding(
@@ -802,9 +906,9 @@ def _check_buckets(findings: List[LatFinding]) -> None:
             ))
     expected_flavor = {"read": Bucket.READ_STALL, "write": Bucket.WRITE_STALL,
                        "writeback": None}
-    for spec in _RULE_SPECS:
-        want = expected_flavor[spec.flavor]
-        for rule_name in spec.rules:
+    for cs in env_table.rule_specs:
+        want = expected_flavor[cs.flavor]
+        for rule_name in cs.rules:
             rule = table.rule_named(rule_name)
             got = BUCKET_FOR_PROTO_EVENT.get(rule.event.value)
             if got is not want:
@@ -812,7 +916,7 @@ def _check_buckets(findings: List[LatFinding]) -> None:
                     "bucket-accounting",
                     f"rule {rule_name!r} ({rule.event.value}) charges "
                     f"bucket {getattr(got, 'value', None)} but class "
-                    f"{spec.cls.value} stalls in "
+                    f"{cs.cls.value} stalls in "
                     f"{getattr(want, 'value', None)}",
                     rule.describe(),
                 ))
@@ -821,21 +925,21 @@ def _check_buckets(findings: List[LatFinding]) -> None:
 def _check_obligations(
     table: EnvelopeTable, findings: List[LatFinding]
 ) -> None:
-    proto = DIRECTORY_PROTOCOL_TABLE
-    for spec in _RULE_SPECS:
-        if not spec.rules:
+    proto = table.proto.table
+    for cs in table.rule_specs:
+        if not cs.rules:
             continue
-        steps = table.steps[spec.cls]
+        steps = table.steps[cs.cls]
         priced_actions = {s.action for s in steps if s.action is not None}
         union_actions = frozenset().union(
-            *(proto.rule_named(name).action_set for name in spec.rules)
+            *(proto.rule_named(name).action_set for name in cs.rules)
         )
         for action in sorted(union_actions, key=lambda a: a.value):
             if action in _FREE_ACTIONS:
                 if action in priced_actions:
                     findings.append(LatFinding(
                         "action-obligations",
-                        f"class {spec.cls.value} charges bookkeeping "
+                        f"class {cs.cls.value} charges bookkeeping "
                         f"action {action.value} (folded into the base "
                         f"by the analytic model)",
                         _path_of(steps),
@@ -843,8 +947,8 @@ def _check_obligations(
             elif action not in priced_actions:
                 findings.append(LatFinding(
                     "action-obligations",
-                    f"class {spec.cls.value} never charges action "
-                    f"{action.value} of rule(s) {', '.join(spec.rules)}",
+                    f"class {cs.cls.value} never charges action "
+                    f"{action.value} of rule(s) {', '.join(cs.rules)}",
                     _path_of(steps),
                 ))
         if Action.READ_MEMORY in union_actions:
@@ -855,7 +959,7 @@ def _check_obligations(
             if len(memory_steps) != 1:
                 findings.append(LatFinding(
                     "action-obligations",
-                    f"class {spec.cls.value} charges home memory "
+                    f"class {cs.cls.value} charges home memory "
                     f"{len(memory_steps)} times (read_memory implies "
                     f"exactly one access)",
                     _path_of(steps),
@@ -868,8 +972,8 @@ def _check_continuity(
     """Every demand path must trace a connected message route: a point
     charge at a node the message has not reached means an uncharged
     network traversal."""
-    for spec in _RULE_SPECS:
-        steps = [s for s in table.steps[spec.cls] if not s.hidden]
+    for cs in table.rule_specs:
+        steps = [s for s in table.steps[cs.cls] if not s.hidden]
         location = "req"
         for step in steps:
             if step.kind is ChargeKind.LINK:
@@ -877,7 +981,7 @@ def _check_continuity(
                 if src != location:
                     findings.append(LatFinding(
                         "hop-continuity",
-                        f"class {spec.cls.value}: traversal {step.where} "
+                        f"class {cs.cls.value}: traversal {step.where} "
                         f"departs from {src} but the message is at "
                         f"{location}",
                         _path_of(tuple(steps)),
@@ -886,7 +990,7 @@ def _check_continuity(
             elif step.where != location:
                 findings.append(LatFinding(
                     "hop-continuity",
-                    f"class {spec.cls.value}: {step.describe()} is "
+                    f"class {cs.cls.value}: {step.describe()} is "
                     f"charged at {step.where} but the message is at "
                     f"{location} — an uncharged hop",
                     _path_of(tuple(steps)),
@@ -919,8 +1023,8 @@ def _check_continuity(
 def _check_directory_pass(
     table: EnvelopeTable, findings: List[LatFinding]
 ) -> None:
-    for spec in _RULE_SPECS:
-        steps = table.steps[spec.cls]
+    for cs in table.rule_specs:
+        steps = table.steps[cs.cls]
         passes = sum(
             1 for s in steps
             if s.kind is ChargeKind.DIRECTORY and not s.hidden
@@ -928,7 +1032,7 @@ def _check_directory_pass(
         if passes > 1:
             findings.append(LatFinding(
                 "directory-single-pass",
-                f"class {spec.cls.value} charges the home directory "
+                f"class {cs.cls.value} charges the home directory "
                 f"{passes} times; the controller serializes one pass "
                 f"per transaction",
                 _path_of(steps),
@@ -1123,7 +1227,8 @@ def _check_monotonicity(
     base_table: EnvelopeTable, findings: List[LatFinding],
 ) -> None:
     for param, direction in _MONOTONE_PARAMS:
-        bumped = derive_envelopes(_bumped(config, param), mutation=mutation)
+        bumped = derive_envelopes(_bumped(config, param), mutation=mutation,
+                                  spec=base_table.proto)
         for model in Consistency:
             for cls in TxnClass:
                 old = base_table.get(model, cls)
@@ -1151,14 +1256,18 @@ def _check_monotonicity(
 def check_accounting(
     config: Optional[MachineConfig] = None,
     mutation: Optional[str] = None,
+    spec=None,
 ) -> LatBoundResult:
-    """Derive the envelopes and run every static conformance pass."""
+    """Derive the envelopes and run every static conformance pass.
+
+    ``spec`` selects the protocol (default: ``directory-msi``).
+    """
     if config is None:
         config = dash_scaled_config()
-    table = derive_envelopes(config, mutation=mutation)
+    table = derive_envelopes(config, mutation=mutation, spec=spec)
     findings: List[LatFinding] = []
-    _check_annotations(findings)
-    _check_buckets(findings)
+    _check_annotations(table, findings)
+    _check_buckets(table, findings)
     _check_obligations(table, findings)
     _check_continuity(table, findings)
     _check_directory_pass(table, findings)
@@ -1321,6 +1430,7 @@ def audit_app(
     app: str,
     model: Consistency = Consistency.RC,
     mutation: Optional[str] = None,
+    spec=None,
 ) -> AuditReport:
     """Trace one smoke-scale run of ``app`` (fault-free — the ceiling
     does not survive NACK retries) and audit it against the envelopes
@@ -1336,5 +1446,5 @@ def audit_app(
     machine = Machine(config)
     machine.load(smoke_program(app))
     machine.run()
-    table = derive_envelopes(config, mutation=mutation)
+    table = derive_envelopes(config, mutation=mutation, spec=spec)
     return audit_trace(machine.trace, table, model, app=app)

@@ -9,6 +9,17 @@ state under a bounded configuration, checking the protocol's safety
 invariants in each one and emitting a minimal counterexample trace on
 violation.
 
+The model is **protocol-parametric**: it is generated from a registered
+:class:`~repro.coherence.specs.ProtocolSpec` — the spec's transition
+table supplies the next states and abstract actions of every directory
+serve and eviction, and the spec's semantic sets (owner / exclusive /
+dirty / silent-upgrade states, owner- and sharer-tracking directory
+states) instantiate both the transition semantics and the invariants.
+The default spec is ``directory-msi``, for which the reachable space
+(and its fingerprint) is identical to the pre-registry checker; ``mesi``
+adds silent-upgrade edges and E fills, ``moesi`` adds dirty sharing
+through OWNED/SHARED_DIRTY.
+
 Abstraction
 ===========
 
@@ -17,8 +28,8 @@ event calendar serializes conflicting transactions, behaviourally
 equivalent to serialization at the home node).  The abstract model keeps
 exactly the state those atomic transactions read and write:
 
-* per cache, per line: a :class:`~repro.caches.LineState` (INVALID /
-  SHARED / DIRTY) plus an abstract data value;
+* per cache, per line: a :class:`~repro.caches.LineState` (from the
+  spec's cache-state alphabet) plus an abstract data value;
 * per line: the home directory entry (:class:`~repro.coherence.directory.
   DirState`, sharer set, owner) and the memory copy's value;
 * per line: the value of the most recent write to retire anywhere (the
@@ -29,29 +40,36 @@ exactly the state those atomic transactions read and write:
   :attr:`~repro.faults.plan.BackoffPolicy.max_retries`) are part of the
   explored space.
 
-Transitions mirror the mutation blocks of ``protocol.py`` one-to-one:
-read serves follow ``_read_fill`` (sharing writeback, owner downgrade),
-write serves follow ``_acquire_ownership`` (ownership transfer or
+Transitions mirror the mutation blocks of ``protocol.py`` one-to-one,
+driven by the spec's rules: read serves follow ``_read_fill`` (fetch
+from owner, owner downgrade, sharing writeback when the rule charges
+one), write serves follow ``_acquire_ownership`` (ownership transfer or
 point-to-point invalidation of every other sharer), evictions follow
-``_evict`` (dirty writeback / replacement hint), and a NACK bounces a
-message back with its attempt counter incremented.  Because requests may
-be outstanding from several caches at once and the directory may serve
-or NACK them in any order, the checker explores every serialization the
-event calendar could ever produce — including ones no seeded fault plan
-happens to hit.
+``_evict`` (write-back / replacement hint per the state's eviction
+rule), and a NACK bounces a message back with its attempt counter
+incremented.  Writes from a silent-upgrade state (MESI's E) are a
+*local* edge — no message, the upgrade completes instantaneously inside
+the cache, which is exactly the behavior ``protodiff`` certifies as
+observationally invisible.  Because requests may be outstanding from
+several caches at once and the directory may serve or NACK them in any
+order, the checker explores every serialization the event calendar
+could ever produce — including ones no seeded fault plan happens to
+hit.
 
 Invariants
 ==========
 
-Checked in every reachable state:
+Checked in every reachable state, stated protocol-generically:
 
-* **SWMR** — at most one dirty copy per line, and a dirty copy excludes
-  all other cached copies;
+* **SWMR** — at most one copy in an owner state per line, and a copy in
+  an *exclusive* state excludes all other cached copies (MOESI's OWNED
+  is an owner state but not an exclusive one: sharers may coexist);
 * **directory precision** — the home entry's state/sharers/owner agree
   exactly with the caches (the directory is precise, not conservative);
-* **data value** — clean copies equal the memory copy; a dirty copy
-  equals the most recently written value; memory equals it whenever the
-  directory is not DIRTY (no lost updates);
+* **data value** — the owner's copy (when the entry tracks one) equals
+  the most recently written value and every other holder equals the
+  owner; without an owner, memory equals the last write and every clean
+  copy equals memory (no lost updates);
 * **message sanity** — the in-flight set respects its bound, one request
   per (cache, line), retry counters within budget;
 * **no stuck state** — after enumeration, every reachable state can
@@ -78,6 +96,7 @@ from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.caches import LineState
 from repro.coherence.directory import DirState
+from repro.coherence.table import Action, ProtoEvent, ProtocolTableError
 from repro.faults.plan import BackoffPolicy
 
 #: Test-only broken transitions accepted by :class:`ProtocolModel`.
@@ -93,6 +112,14 @@ MUTATIONS = (
     # message can never complete).
     "nack-forever",
 )
+
+
+def _default_spec():
+    """The registry's ``directory-msi`` spec, imported lazily so this
+    module can be imported while the spec package is being built."""
+    from repro.coherence.specs import get_spec
+
+    return get_spec("directory-msi")
 
 
 def reachable_fingerprint(states) -> str:
@@ -146,14 +173,13 @@ class State(NamedTuple):
             )
             parts.append(f"c{node}=[{cells}]")
         for line, entry in enumerate(self.dirs):
-            if entry.state == DirState.DIRTY:
-                detail = f"own={entry.owner}"
-            elif entry.state == DirState.SHARED:
-                detail = "sh={" + ",".join(map(str, entry.sharers)) + "}"
-            else:
-                detail = "-"
+            detail = []
+            if entry.owner is not None:
+                detail.append(f"own={entry.owner}")
+            if entry.sharers:
+                detail.append("sh={" + ",".join(map(str, entry.sharers)) + "}")
             parts.append(
-                f"dir{line}={entry.state.name}:{detail}"
+                f"dir{line}={entry.state.name}:{' '.join(detail) or '-'}"
                 f" mem{line}=v{self.memory[line]}"
                 f" latest{line}=v{self.latest[line]}"
             )
@@ -269,16 +295,18 @@ def format_counterexample(violation: Violation) -> str:
 
 
 class ProtocolModel:
-    """The abstract transition system extracted from ``repro.coherence``.
+    """The abstract transition system generated from a protocol spec.
 
     Subclasses (tests) may override the ``serve_read`` / ``serve_write``
     / ``evict`` rules to model protocol bugs; ``mutation`` selects one
-    of the built-in broken transitions in :data:`MUTATIONS`.
+    of the built-in broken transitions in :data:`MUTATIONS`; ``spec``
+    picks the protocol (default: the registry's ``directory-msi``).
     """
 
     def __init__(
         self, config: Optional[ModelConfig] = None,
         mutation: Optional[str] = None,
+        spec=None,
     ) -> None:
         self.config = config or ModelConfig()
         if mutation is not None and mutation not in MUTATIONS:
@@ -286,6 +314,12 @@ class ProtocolModel:
                 f"unknown mutation {mutation!r}; expected one of {MUTATIONS}"
             )
         self.mutation = mutation
+        self.spec = spec if spec is not None else _default_spec()
+        self.table = self.spec.table
+        #: Resident states whose write crosses the directory (a
+        #: WRITE_UPGRADE rule exists for them); INVALID writes are
+        #: always WRITE_MISS messages.
+        self._upgrade_states = self.spec.upgrade_states()
 
     # -- state plumbing ----------------------------------------------------
 
@@ -342,15 +376,30 @@ class ProtocolModel:
     def _with_msg(state: State, msg: Message) -> State:
         return state._replace(msgs=tuple(sorted(state.msgs + (msg,))))
 
-    # -- transition rules (mirror protocol.py) -----------------------------
+    def _final_dir(
+        self, next_dir: DirState, sharers, owner: Optional[int]
+    ) -> DirEntry:
+        """Project tracked owner/sharers onto what ``next_dir`` stores."""
+        spec = self.spec
+        return DirEntry(
+            next_dir,
+            tuple(sorted(sharers))
+            if next_dir in spec.sharer_dir_states else (),
+            owner if next_dir in spec.owner_dir_states else None,
+        )
+
+    # -- transition rules (mirror protocol.py, driven by the spec) ---------
 
     def successors(self, state: State) -> Iterator[Tuple[str, State]]:
         cfg = self.config
+        spec = self.spec
         pending = {(m.cache, m.line) for m in state.msgs}
 
         # Issue edges: a cache puts a new request on the network.  Reads
-        # issue only on a miss and writes only without ownership — hits
-        # resolve inside the cache and touch no global state.
+        # issue only on a miss; writes issue when the copy is absent or
+        # needs a directory upgrade — hits resolve inside the cache and
+        # touch no global state, and writes from a silent-upgrade state
+        # (MESI's E) are the local edges generated below.
         if len(state.msgs) < cfg.max_in_flight:
             for cache in range(cfg.num_caches):
                 for line in range(cfg.num_lines):
@@ -364,7 +413,10 @@ class ProtocolModel:
                                 state, Message("R", cache, line, 0, 0)
                             ),
                         )
-                    if cl.state != LineState.DIRTY:
+                    if (
+                        cl.state == LineState.INVALID
+                        or cl.state in self._upgrade_states
+                    ):
                         for value in range(cfg.num_values):
                             yield (
                                 f"c{cache}: issue WRITE line{line} v{value}",
@@ -373,6 +425,18 @@ class ProtocolModel:
                                     Message("W", cache, line, value, 0),
                                 ),
                             )
+
+        # Silent-upgrade edges: a write from E completes locally, with
+        # no message for the directory to reorder against.
+        if spec.silent_upgrade_states:
+            for cache in range(cfg.num_caches):
+                for line in range(cfg.num_lines):
+                    cl = state.caches[cache][line]
+                    if cl.state not in spec.silent_upgrade_states:
+                        continue
+                    upgraded = self.silent_write(state, cache, line)
+                    if upgraded is not None:
+                        yield from upgraded
 
         # Directory edges: serve or NACK any in-flight message.
         for msg in state.msgs:
@@ -395,49 +459,95 @@ class ProtocolModel:
                     if evicted is not None:
                         yield evicted
 
+    def silent_write(
+        self, state: State, cache: int, line: int
+    ) -> Optional[List[Tuple[str, State]]]:
+        """All silent-upgrade writes from ``cache``'s copy of ``line``
+        (one edge per abstract value) — MESI's message-free E -> M."""
+        cl = state.caches[cache][line]
+        entry = state.dirs[line]
+        try:
+            rule = self.table.lookup(
+                cl.state, entry.state, ProtoEvent.WRITE_HIT
+            )
+        except ProtocolTableError:
+            return None  # mutated/broken state: no such edge
+        edges = []
+        for value in range(self.config.num_values):
+            new = self._set_cache(
+                state, cache, line, CacheLine(rule.next_cache_state, value)
+            )
+            new = self._set_latest(new, line, value)
+            edges.append(
+                (f"c{cache}: silent write line{line} v{value}", new)
+            )
+        return edges
+
     def serve_read(
         self, state: State, msg: Message
     ) -> Optional[Tuple[str, State]]:
         """The directory services a read request (``_read_fill``)."""
         if self._serve_refused(msg):
             return None
+        spec = self.spec
         line = msg.line
         entry = state.dirs[line]
         label = f"dir: serve READ(c{msg.cache},l{line})"
         new = self._without_msg(state, msg)
-        if entry.state == DirState.DIRTY and entry.owner != msg.cache:
-            # Dirty at a third party: owner downgrades to SHARED and the
-            # home memory is refreshed (sharing writeback), then the
-            # requester receives the fresh line.
-            owner = entry.owner
-            owner_value = state.caches[owner][line].value
-            new = self._set_cache(
-                new, owner, line, CacheLine(LineState.SHARED, owner_value)
-            )
-            new = self._set_memory(new, line, owner_value)
-            new = self._set_cache(
-                new, msg.cache, line, CacheLine(LineState.SHARED, owner_value)
-            )
-            new = self._set_dir(
-                new, line,
-                DirEntry(
-                    DirState.SHARED, tuple(sorted({owner, msg.cache})), None
-                ),
-            )
-            return (label + " [sharing-writeback]", new)
-        if entry.state == DirState.DIRTY:
+        if entry.state in spec.owner_dir_states and entry.owner == msg.cache:
             # Stale request: the requester already owns the line (cannot
             # arise from the issue guards, but a mutated rule may create
             # it); completing with no state change keeps the model total.
             return (label + " [already-owner]", new)
-        # UNOWNED or SHARED: memory supplies the data.
-        sharers = tuple(sorted(set(entry.sharers) | {msg.cache}))
+        rule = self.table.lookup(
+            LineState.INVALID, entry.state, ProtoEvent.READ_MISS
+        )
+        acts = rule.action_set
+        sharers = set(entry.sharers)
+        owner = entry.owner
+        if Action.FETCH_FROM_OWNER in acts:
+            owner_line = (
+                state.caches[owner][line] if owner is not None else None
+            )
+            if owner_line is None or owner_line.state == LineState.INVALID:
+                # The entry names a departed (or no) owner: the forward
+                # reaches a node without the line, whose reply is
+                # modelled as the abstract garbage value 0.  Unreachable
+                # for the registered specs (directory precision holds in
+                # every reachable state); under protodiff's seeded
+                # write-back-drop mutations this is exactly the
+                # stale-data divergence the differ witnesses.
+                fill_value = 0
+                label += " [stale-owner]"
+            else:
+                # The owner supplies the data; per the rule it either
+                # downgrades (staying owner under MOESI dirty sharing,
+                # joining the sharers otherwise) or keeps its state.
+                fill_value = owner_line.value
+                if Action.DOWNGRADE_OWNER in acts:
+                    new = self._set_cache(
+                        new, owner, line,
+                        CacheLine(spec.downgrade_state, fill_value),
+                    )
+                    if rule.next_dir_state not in spec.owner_dir_states:
+                        sharers.add(owner)
+                        owner = None
+                if Action.SHARING_WRITEBACK in acts:
+                    new = self._set_memory(new, line, fill_value)
+                    label += " [sharing-writeback]"
+        else:
+            # READ_MEMORY: home memory supplies the data.
+            fill_value = state.memory[line]
         new = self._set_cache(
             new, msg.cache, line,
-            CacheLine(LineState.SHARED, state.memory[line]),
+            CacheLine(rule.next_cache_state, fill_value),
         )
+        if Action.ADD_SHARER in acts:
+            sharers.add(msg.cache)
+        if Action.SET_OWNER in acts:
+            owner = msg.cache
         new = self._set_dir(
-            new, line, DirEntry(DirState.SHARED, sharers, None)
+            new, line, self._final_dir(rule.next_dir_state, sharers, owner)
         )
         return (label, new)
 
@@ -447,21 +557,37 @@ class ProtocolModel:
         """The directory grants ownership (``_acquire_ownership``)."""
         if self._serve_refused(msg):
             return None
+        spec = self.spec
         line = msg.line
         entry = state.dirs[line]
+        requester = state.caches[msg.cache][line]
+        event = (
+            ProtoEvent.WRITE_MISS
+            if requester.state == LineState.INVALID
+            else ProtoEvent.WRITE_UPGRADE
+        )
+        rule = self.table.lookup(requester.state, entry.state, event)
+        acts = rule.action_set
         label = f"dir: serve WRITE(c{msg.cache},l{line},v{msg.value})"
         new = self._without_msg(state, msg)
-        if entry.state == DirState.DIRTY and entry.owner != msg.cache:
+        sharers = set(entry.sharers)
+        owner = entry.owner
+        if (
+            Action.INVALIDATE_OWNER in acts
+            and owner is not None
+            and owner != msg.cache
+        ):
             # Ownership transfer: the previous owner's copy is
             # invalidated; data flows owner -> requester (memory stays
             # stale until a writeback).
             new = self._set_cache(
-                new, entry.owner, line, CacheLine(LineState.INVALID, 0)
+                new, owner, line, CacheLine(LineState.INVALID, 0)
             )
-            label += f" [transfer from c{entry.owner}]"
-        else:
+            label += f" [transfer from c{owner}]"
+            owner = None
+        if Action.INVALIDATE_SHARERS in acts or sharers:
             # Point-to-point invalidations to every other sharer.
-            others = [s for s in entry.sharers if s != msg.cache]
+            others = [s for s in sorted(sharers) if s != msg.cache]
             if self.mutation == "skip-invalidation" and others:
                 spared = max(others)
                 others = [s for s in others if s != spared]
@@ -475,10 +601,13 @@ class ProtocolModel:
                     f"c{s}" for s in others
                 ) + "]"
         new = self._set_cache(
-            new, msg.cache, line, CacheLine(LineState.DIRTY, msg.value)
+            new, msg.cache, line,
+            CacheLine(rule.next_cache_state, msg.value),
         )
+        if Action.SET_OWNER in acts:
+            owner = msg.cache
         new = self._set_dir(
-            new, line, DirEntry(DirState.DIRTY, (), msg.cache)
+            new, line, self._final_dir(rule.next_dir_state, (), owner)
         )
         new = self._set_latest(new, line, msg.value)
         return (label, new)
@@ -517,40 +646,66 @@ class ProtocolModel:
         self, state: State, cache: int, line: int
     ) -> Optional[Tuple[str, State]]:
         """A cache replaces the line (``_evict``)."""
+        spec = self.spec
         cl = state.caches[cache][line]
         new = self._set_cache(
             state, cache, line, CacheLine(LineState.INVALID, 0)
         )
         entry = state.dirs[line]
-        if cl.state == LineState.DIRTY:
+        # The guard is evaluated on the directory's view, exactly as the
+        # runtime's eviction handler does.
+        holders = set(entry.sharers)
+        if entry.owner is not None:
+            holders.add(entry.owner)
+        others = bool(holders - {cache})
+        try:
+            rule = self.table.lookup(
+                cl.state, entry.state, spec.eviction_event(cl.state), others
+            )
+        except (ProtocolTableError, KeyError):
+            # Broken/mutated state the table rules out: drop the copy
+            # and fall back to a replacement hint so the model stays
+            # total (the invariant pass already flagged such states).
+            sharers = set(entry.sharers) - {cache}
+            if entry.state in spec.sharer_dir_states:
+                new = self._set_dir(
+                    new, line,
+                    self._final_dir(
+                        entry.state
+                        if sharers or entry.owner is not None
+                        else DirState.UNOWNED,
+                        sharers, entry.owner,
+                    ),
+                )
+            return (f"c{cache}: evict line{line} clean", new)
+        acts = rule.action_set
+        sharers = set(entry.sharers) - {cache}
+        owner = None if entry.owner == cache else entry.owner
+        if Action.WRITEBACK_MEMORY in acts:
             if self.mutation == "lost-writeback":
                 # The dirty data is dropped on the floor: the directory
                 # learns of the eviction but memory keeps a stale value.
-                if entry.state == DirState.DIRTY and entry.owner == cache:
-                    new = self._set_dir(
-                        new, line, DirEntry(DirState.UNOWNED, (), None)
-                    )
+                new = self._set_dir(
+                    new, line,
+                    self._final_dir(rule.next_dir_state, sharers, owner),
+                )
                 return (
                     f"c{cache}: evict line{line} [BUG: writeback lost]",
                     new,
                 )
-            # Dirty writeback: memory refreshed, entry cleared
-            # (Directory.writeback).
+            # Write-back: memory refreshed, entry updated per the rule
+            # (Directory.writeback; MESI's E write-back carries clean
+            # data, MOESI's owner eviction finally refreshes memory).
             new = self._set_memory(new, line, cl.value)
-            if entry.state == DirState.DIRTY and entry.owner == cache:
-                new = self._set_dir(
-                    new, line, DirEntry(DirState.UNOWNED, (), None)
-                )
+            new = self._set_dir(
+                new, line,
+                self._final_dir(rule.next_dir_state, sharers, owner),
+            )
             return (f"c{cache}: evict line{line} writeback v{cl.value}", new)
         # Clean replacement hint (Directory.drop_sharer).
-        sharers = tuple(s for s in entry.sharers if s != cache)
-        if entry.state == DirState.SHARED:
-            new_entry = (
-                DirEntry(DirState.SHARED, sharers, None)
-                if sharers
-                else DirEntry(DirState.UNOWNED, (), None)
-            )
-            new = self._set_dir(new, line, new_entry)
+        new = self._set_dir(
+            new, line, self._final_dir(rule.next_dir_state, sharers, owner)
+        )
         return (f"c{cache}: evict line{line} clean", new)
 
     # -- invariants --------------------------------------------------------
@@ -558,40 +713,58 @@ class ProtocolModel:
     def check_state(self, state: State) -> Optional[Tuple[str, str]]:
         """Return ``(invariant, message)`` for the first violation."""
         cfg = self.config
+        spec = self.spec
         for line in range(cfg.num_lines):
             holders = []
-            dirty = []
+            owned = []       # holders in an owner state (M/E/O)
+            exclusive = []   # holders in an exclusive state (M/E)
             for cache in range(cfg.num_caches):
                 cl = state.caches[cache][line]
                 if cl.state == LineState.INVALID:
                     continue
                 holders.append(cache)
-                if cl.state == LineState.DIRTY:
-                    dirty.append(cache)
-            if len(dirty) > 1:
+                if cl.state in spec.owner_states:
+                    owned.append(cache)
+                if cl.state in spec.exclusive_states:
+                    exclusive.append(cache)
+            if len(owned) > 1:
                 return (
                     "swmr",
-                    f"line {line} dirty at caches {dirty}",
+                    f"line {line} owned at caches {owned}",
                 )
-            if dirty and holders != dirty:
+            if exclusive and holders != exclusive:
                 return (
                     "swmr",
-                    f"line {line} dirty at c{dirty[0]} while cached "
+                    f"line {line} exclusive at c{exclusive[0]} while cached "
                     f"by {holders}",
                 )
             entry = state.dirs[line]
-            if entry.state == DirState.DIRTY:
-                if entry.owner is None or entry.sharers:
+            if entry.state in spec.owner_dir_states:
+                if entry.owner is None or (
+                    entry.sharers
+                    and entry.state not in spec.sharer_dir_states
+                ):
                     return (
                         "directory-sharer-set",
-                        f"line {line} DIRTY with owner={entry.owner} "
-                        f"sharers={entry.sharers}",
+                        f"line {line} {entry.state.name} with "
+                        f"owner={entry.owner} sharers={entry.sharers}",
                     )
-                if holders != [entry.owner] or not dirty:
+                expected_sharers = tuple(
+                    h for h in holders if h != entry.owner
+                )
+                if entry.state in spec.sharer_dir_states:
+                    membership_ok = (
+                        entry.sharers == expected_sharers
+                        and entry.owner in owned
+                    )
+                else:
+                    membership_ok = holders == [entry.owner] and bool(owned)
+                if not membership_ok:
                     return (
                         "directory-precision",
-                        f"line {line} DIRTY at owner c{entry.owner} but "
-                        f"cached by {holders} (dirty at {dirty})",
+                        f"line {line} {entry.state.name} at owner "
+                        f"c{entry.owner} but cached by {holders} "
+                        f"(owned at {owned})",
                     )
                 owner_value = state.caches[entry.owner][line].value
                 if owner_value != state.latest[line]:
@@ -600,6 +773,15 @@ class ProtocolModel:
                         f"line {line} owner c{entry.owner} holds v"
                         f"{owner_value}, last write was v{state.latest[line]}",
                     )
+                for holder in holders:
+                    value = state.caches[holder][line].value
+                    if value != owner_value:
+                        return (
+                            "data-value",
+                            f"line {line} copy at c{holder} holds v{value} "
+                            f"while owner c{entry.owner} holds "
+                            f"v{owner_value}",
+                        )
             else:
                 if entry.owner is not None:
                     return (
@@ -607,10 +789,14 @@ class ProtocolModel:
                         f"line {line} {entry.state.name} with "
                         f"owner={entry.owner}",
                     )
-                if entry.state == DirState.SHARED and not entry.sharers:
+                if (
+                    entry.state in spec.sharer_dir_states
+                    and not entry.sharers
+                ):
                     return (
                         "directory-sharer-set",
-                        f"line {line} SHARED with empty sharer set",
+                        f"line {line} {entry.state.name} with empty "
+                        f"sharer set",
                     )
                 if entry.state == DirState.UNOWNED and entry.sharers:
                     return (
@@ -624,11 +810,11 @@ class ProtocolModel:
                         f"line {line} {entry.state.name} sharers="
                         f"{entry.sharers} but cached by {expected}",
                     )
-                if dirty:
+                if owned:
                     return (
                         "directory-precision",
-                        f"line {line} {entry.state.name} but dirty at "
-                        f"c{dirty[0]}",
+                        f"line {line} {entry.state.name} but owned at "
+                        f"c{owned[0]}",
                     )
                 if state.memory[line] != state.latest[line]:
                     return (
@@ -784,6 +970,9 @@ class ModelChecker:
 def check_protocol(
     config: Optional[ModelConfig] = None,
     mutation: Optional[str] = None,
+    spec=None,
 ) -> ModelCheckResult:
     """Convenience wrapper: build a model and exhaustively check it."""
-    return ModelChecker(ProtocolModel(config, mutation=mutation)).run()
+    return ModelChecker(
+        ProtocolModel(config, mutation=mutation, spec=spec)
+    ).run()

@@ -5,7 +5,12 @@ imperative handlers look their rule up and apply its actions, so any
 defect in the table — a missing transition, two rules claiming the same
 situation, a rule no execution can ever fire — is a protocol bug that
 deserves a static, simulation-free verdict.  This module provides it,
-in four passes:
+in four passes, each **protocol-parametric**: pass a registered
+:class:`~repro.coherence.specs.ProtocolSpec` (or any bare
+:class:`~repro.coherence.table.TransitionTable`) and the completeness
+domain, the observation vocabulary, and the conforming model are all
+taken from it — ``--proto-matrix`` runs the whole battery over every
+registered spec.  The passes:
 
 * **completeness** — every ``(cache-state, directory-state, event)``
   combination in the table's domain is either covered by a rule (for
@@ -180,7 +185,7 @@ def check_completeness(table: TransitionTable) -> List[ProtoFinding]:
     """Every domain key is ruled (for both guard values) or declared
     impossible — and never both."""
     findings: List[ProtoFinding] = []
-    for key in TransitionTable.domain():
+    for key in table.domain():
         cache_state, dir_state, event = key
         rules = table.rules_for(key)
         impossible = table.declared_impossible(key)
@@ -290,9 +295,17 @@ def check_stutter(table: TransitionTable) -> List[ProtoFinding]:
 
 # -- the liveness / conformance pass ------------------------------------------
 
-def _observations(state: State, config: ModelConfig) -> List[Observation]:
-    """Project one reachable model state onto the table's vocabulary."""
+def _observations(
+    state: State, config: ModelConfig, spec
+) -> List[Observation]:
+    """Project one reachable model state onto the table's vocabulary.
+
+    The spec decides which events a resident copy presents: its
+    eviction event per cache state (with the guard value attached only
+    when the spec actually guards that key), and whether a write to it
+    is a hit."""
     obs: List[Observation] = []
+    write_hit_states = spec.write_hit_states()
     for line in range(config.num_lines):
         entry = state.dirs[line]
         holders = [
@@ -310,24 +323,23 @@ def _observations(state: State, config: ModelConfig) -> List[Observation]:
                     cache, line,
                 )
             )
-            if cl.state == LineState.SHARED:
-                obs.append(
-                    Observation(
-                        cl.state, entry.state, ProtoEvent.EVICT_CLEAN,
-                        others, cache, line,
-                    )
+            evict_event = spec.eviction_event(cl.state)
+            guarded = any(
+                rule.others_cached is not None
+                for rule in spec.table.rules
+                if rule.event is evict_event and rule.cache_state == cl.state
+            )
+            obs.append(
+                Observation(
+                    cl.state, entry.state, evict_event,
+                    others if guarded else None, cache, line,
                 )
-            else:
+            )
+            if cl.state in write_hit_states:
                 obs.append(
                     Observation(
                         cl.state, entry.state, ProtoEvent.WRITE_HIT, None,
                         cache, line,
-                    )
-                )
-                obs.append(
-                    Observation(
-                        cl.state, entry.state, ProtoEvent.EVICT_DIRTY,
-                        None, cache, line,
                     )
                 )
     for msg in state.msgs:
@@ -356,9 +368,21 @@ def _conformance_target(
     inside the cache and touch no global state)."""
     cache, line = observation.cache, observation.line
     event = observation.event
-    if event in (ProtoEvent.READ_HIT, ProtoEvent.WRITE_HIT):
+    if event is ProtoEvent.READ_HIT:
         return None
-    if event in (ProtoEvent.EVICT_CLEAN, ProtoEvent.EVICT_DIRTY):
+    if event is ProtoEvent.WRITE_HIT:
+        if observation.cache_state in model.spec.silent_upgrade_states:
+            # MESI's E -> M is a hit with a state change; conform it
+            # against the model's local silent-write edge.
+            edges = model.silent_write(state, cache, line)
+            if edges:
+                _, succ = edges[0]
+                return (succ.caches[cache][line].state, succ.dirs[line].state)
+        return None
+    if event in (
+        ProtoEvent.EVICT_CLEAN, ProtoEvent.EVICT_DIRTY,
+        ProtoEvent.EVICT_EXCLUSIVE,
+    ):
         edge = model.evict(state, cache, line)
     else:
         msg = next(
@@ -402,14 +426,19 @@ def _witness_to(
 def check_liveness(
     table: TransitionTable,
     config: Optional[ModelConfig] = None,
+    spec=None,
 ) -> Tuple[List[ProtoFinding], int, int, str, Set[str]]:
     """Enumerate the model's reachable states, project every observation
     onto the table, and conform each fired rule against the model edge.
 
+    ``spec`` selects the protocol the conforming model runs (default:
+    the registry's ``directory-msi``); ``table`` may differ from the
+    spec's own table when a seeded mutation is under test.
+
     Returns ``(findings, states, observations, fingerprint, fired)``.
     """
     config = config or ModelConfig()
-    model = ProtocolModel(config)
+    model = ProtocolModel(config, spec=spec)
     initial = model.initial_state()
     parent: Dict[State, Optional[Tuple[State, str]]] = {initial: None}
     queue = deque([initial])
@@ -426,7 +455,7 @@ def check_liveness(
     states_seen: Set[Tuple[LineState, DirState]] = set()
     observations = 0
     for state in parent:
-        for observation in _observations(state, config):
+        for observation in _observations(state, config, model.spec):
             observations += 1
             states_seen.add(
                 (observation.cache_state, observation.dir_state)
@@ -542,14 +571,20 @@ def lint_table(
     table: Optional[TransitionTable] = None,
     config: Optional[ModelConfig] = None,
     with_model: bool = True,
+    spec=None,
 ) -> ProtoLintResult:
     """Run every pass over ``table`` (default: the directory protocol).
+
+    Pass ``spec`` to lint a registered protocol spec: its table becomes
+    the lint target (unless ``table`` overrides it with a mutated
+    variant) and the conforming model runs that protocol's semantics.
 
     ``with_model=False`` skips the liveness/conformance pass (used by
     unit tests exercising the static passes on synthetic tables whose
     states the model cannot reach).
     """
-    table = table if table is not None else DIRECTORY_PROTOCOL_TABLE
+    if table is None:
+        table = spec.table if spec is not None else DIRECTORY_PROTOCOL_TABLE
     findings: List[ProtoFinding] = []
     findings.extend(check_completeness(table))
     findings.extend(check_determinism(table))
@@ -560,7 +595,7 @@ def lint_table(
     if with_model:
         config = config or ModelConfig()
         live, states, observations, reach_fp, _ = check_liveness(
-            table, config
+            table, config, spec=spec
         )
         findings.extend(live)
         # Agreement check: the model checker enumerating the *same*
@@ -568,7 +603,7 @@ def lint_table(
         # analyses is exploring a different protocol.
         from repro.analysis.modelcheck import check_protocol
 
-        model_fp = check_protocol(config).fingerprint
+        model_fp = check_protocol(config, spec=spec).fingerprint
         if reach_fp != model_fp:
             findings.append(
                 ProtoFinding(

@@ -41,6 +41,18 @@ accidental dicts and per-iteration containers dominate profiles):
   of the event engine's ``run`` / ``run_until``: the dispatch loop runs
   once per event and must not churn the allocator.
 
+One rule guards the layering of the protocol spec registry:
+
+* ``spec-purity`` — modules under ``coherence/specs/`` are pure data:
+  consumed by the runtime protocol *and* by every static analyzer
+  (model check, protolint, latbound, protodiff), so they must not
+  import the runtime packages (``sim``, ``system``, ``processor``,
+  ``experiments``) and must not call anything at module scope beyond
+  the spec constructors (``make_spec``, ``ProtocolSpec``, ``Rule``,
+  ``TransitionTable``) and the immutable containers they are built
+  from.  A spec with side effects would make "statically verified"
+  mean "verified against whatever the import happened to do".
+
 One rule guards numeric soundness of the timing core:
 
 * ``float-drift`` — in ``sim/`` (the event calendar and queued
@@ -107,6 +119,23 @@ _SLOTS_EXEMPT_BASES = {
 #: Event-engine dispatch loops guarded by ``loop-allocation``.
 _EVENT_LOOP_FNS = {"run", "run_until"}
 
+#: Scope of the ``spec-purity`` rule: the protocol spec registry.
+_SPEC_DIR = "coherence/specs/"
+
+#: Runtime packages a protocol spec must never import: specs feed both
+#: the runtime and the static analyzers, so reaching into the simulator
+#: from a spec would invert the layering.
+_SPEC_FORBIDDEN_IMPORTS = (
+    "repro.sim", "repro.system", "repro.processor", "repro.experiments",
+)
+
+#: Call targets a spec module may invoke at module scope: the spec
+#: constructors and the immutable containers specs are built from.
+_SPEC_ALLOWED_CALLS = {
+    "make_spec", "ProtocolSpec", "Rule", "TransitionTable",
+    "frozenset", "tuple", "dict", "dataclass", "field",
+}
+
 #: Container constructors whose calls allocate inside the event loop.
 _ALLOC_CALLS = {"list", "dict", "set", "tuple", "frozenset", "bytearray"}
 
@@ -148,6 +177,9 @@ class _Visitor(ast.NodeVisitor):
         self.datetime_names: Set[str] = set()
         #: line numbers whose ack comment suppressed at least one finding.
         self.used_acks: Set[int] = set()
+        #: function/lambda nesting depth — 0 means the code runs at
+        #: module import time (the ``spec-purity`` scope).
+        self._func_depth = 0
 
     # -- helpers -----------------------------------------------------------
 
@@ -180,13 +212,30 @@ class _Visitor(ast.NodeVisitor):
 
     # -- imports -----------------------------------------------------------
 
+    def _check_spec_import(self, node: ast.AST, module: str) -> None:
+        if not self.rel_path.startswith(_SPEC_DIR):
+            return
+        for forbidden in _SPEC_FORBIDDEN_IMPORTS:
+            if module == forbidden or module.startswith(forbidden + "."):
+                self._flag(
+                    node, "spec-purity",
+                    f"protocol spec imports the runtime package "
+                    f"{module!r}; specs are pure data shared by the "
+                    f"runtime and every static analyzer and must not "
+                    f"depend on the simulator",
+                )
+                return
+
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name in ("random", "time", "datetime"):
                 self.module_aliases[alias.asname or alias.name] = alias.name
+            self._check_spec_import(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is not None:
+            self._check_spec_import(node, node.module)
         if node.module == "random":
             # ``from random import randint`` severs the call site from
             # the module name, making seeding untrackable.
@@ -216,6 +265,23 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if (
+            self.rel_path.startswith(_SPEC_DIR)
+            and self._func_depth == 0
+        ):
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name not in _SPEC_ALLOWED_CALLS:
+                self._flag(
+                    node, "spec-purity",
+                    f"module-scope call to {name or '<expression>'}() in "
+                    f"a protocol spec runs side effects at import time; "
+                    f"specs must only invoke the spec constructors "
+                    f"({', '.join(sorted(_SPEC_ALLOWED_CALLS))})",
+                )
         if isinstance(func, ast.Attribute):
             owner = self._alias_of(func.value)
             if owner == "random":
@@ -369,15 +435,21 @@ class _Visitor(ast.NodeVisitor):
             and node.name in _EVENT_LOOP_FNS
         ):
             self._check_loop_allocations(node)
+        self._func_depth += 1
         self.generic_visit(node)
+        self._func_depth -= 1
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._func_depth += 1
         self.generic_visit(node)
+        self._func_depth -= 1
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
+        self._func_depth += 1
         self.generic_visit(node)
+        self._func_depth -= 1
 
     # -- hot-path performance ----------------------------------------------
 

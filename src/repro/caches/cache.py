@@ -31,15 +31,30 @@ from repro.config import CacheGeometry
 
 
 class LineState(enum.IntEnum):
-    """Coherence state of a cached line."""
+    """Coherence state of a cached line.
+
+    The base directory-MSI protocol uses the first three members.
+    ``EXCLUSIVE`` (clean, sole copy) is used by the MESI runtime
+    protocol; ``OWNED`` (dirty, shared responsibility) appears only in
+    the abstract MOESI :class:`~repro.coherence.specs.ProtocolSpec` —
+    the runtime never installs it.
+    """
 
     INVALID = 0
-    SHARED = 1   # clean, possibly one of several copies
-    DIRTY = 2    # exclusive, modified (secondary cache only)
+    SHARED = 1     # clean, possibly one of several copies
+    DIRTY = 2      # exclusive, modified (secondary cache only)
+    EXCLUSIVE = 3  # clean, sole copy (MESI's E; silent upgrade to DIRTY)
+    OWNED = 4      # dirty, other clean copies may exist (MOESI's O)
 
 
 #: Raw-byte -> member table for the packed state array (index == value).
-_MEMBERS = (LineState.INVALID, LineState.SHARED, LineState.DIRTY)
+_MEMBERS = (
+    LineState.INVALID,
+    LineState.SHARED,
+    LineState.DIRTY,
+    LineState.EXCLUSIVE,
+    LineState.OWNED,
+)
 
 
 class DirectMappedCache:

@@ -143,6 +143,11 @@ _CHECK_DESCRIPTIONS = {
     "srclint": "determinism + hot-path lint over the simulator source",
     "protolint": "static completeness/determinism/liveness check of the "
                  "declarative protocol transition table",
+    "protomatrix": "model check + protolint over every registered "
+                   "protocol spec (directory-msi, mesi, moesi)",
+    "protodiff": "differential protocol equivalence: product-compose two "
+                 "specs' reachable models and prove (or refute with a "
+                 "minimal witness) observational equivalence",
     "latbound": "static per-transaction latency envelopes derived from "
                 "the protocol table, with optional trace audit",
     "trace": "axiomatic trace conformance (litmus matrix + smoke runs)",
@@ -177,6 +182,11 @@ _LAT_MUTATIONS = (
     "envelope-too-tight",
 )
 
+#: Seeded protocol defects for ``--diff-mutate`` (the protodiff
+#: analogue): applied to the *right* spec of the ``--proto-diff`` pair,
+#: each must be refuted with a minimal witness trace.
+_DIFF_MUTATIONS = ("mesi-without-e-writeback",)
+
 #: CLI flags associated with each check, for ``--list-checks``.  Checks
 #: with no dedicated flag are reachable via ``--checks <name>`` (and the
 #: starred default subset runs them with no flags at all).
@@ -190,6 +200,8 @@ _CHECK_FLAGS = {
     "lockorder": ("--lock-order",),
     "srclint": ("--lint-src",),
     "protolint": ("--proto-lint", "--proto-mutate", "--proto-fingerprint"),
+    "protomatrix": ("--proto-matrix", "--proto-matrix-fingerprints"),
+    "protodiff": ("--proto-diff", "--diff-mutate"),
     "latbound": ("--lat-bound", "--lat-audit", "--lat-mutate",
                  "--lat-fingerprint"),
     "trace": ("--trace-check", "--trace-mutate"),
@@ -354,6 +366,112 @@ def run_proto_lint(
     return 0
 
 
+def run_proto_matrix(
+    fingerprint_dir: Optional[str] = None,
+    mc_config: Optional[dict] = None,
+) -> int:
+    """The ``check --proto-matrix`` entry point: model-check and
+    proto-lint every registered protocol spec (``directory-msi``,
+    ``mesi``, ``moesi``), so a spec cannot land in the registry without
+    the full static battery passing over it.  With ``fingerprint_dir``,
+    cache one fingerprint file per spec (``<dir>/<name>.fp`` holding
+    the spec fingerprint and the reachable-state fingerprint) using the
+    ``--mc-fingerprint`` compare-or-write idiom.  Returns nonzero on
+    any violation, lint finding, or fingerprint mismatch."""
+    import pathlib
+
+    from repro.analysis.modelcheck import (
+        ModelConfig, check_protocol, format_counterexample,
+    )
+    from repro.analysis.protolint import lint_table
+    from repro.coherence.specs import get_spec, spec_names
+
+    config = ModelConfig(**(mc_config or {}))
+    status = 0
+    for name in spec_names():
+        spec = get_spec(name)
+        result = check_protocol(config, spec=spec)
+        print(f"[protomatrix] {name}: {result.summary()}")
+        if result.violation is not None:
+            print(format_counterexample(result.violation))
+            status = 1
+            continue
+        lint = lint_table(config=config, spec=spec)
+        print(f"[protomatrix] {name}: {lint.summary()}")
+        for finding in lint.findings:
+            print("  " + finding.format().replace("\n", "\n  "))
+        if not lint.ok:
+            status = 1
+            continue
+        if fingerprint_dir:
+            path = pathlib.Path(fingerprint_dir) / f"{name}.fp"
+            computed = f"{spec.fingerprint()} {result.fingerprint}"
+            if path.exists():
+                cached = path.read_text().strip()
+                if cached != computed:
+                    print(
+                        f"[protomatrix] {name}: fingerprint MISMATCH: "
+                        f"cached {cached[:16]} != computed "
+                        f"{computed[:16]} — the spec or its reachable "
+                        f"state space changed; review the diff and "
+                        f"delete {path} to accept"
+                    )
+                    status = 1
+                    continue
+                print(f"[protomatrix] {name}: fingerprint matches "
+                      f"cache ({path})")
+            else:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(computed + "\n")
+                print(f"[protomatrix] {name}: fingerprint cached to "
+                      f"{path}")
+    return status
+
+
+def run_proto_diff(
+    pair: Optional[List[str]] = None,
+    mutation: Optional[str] = None,
+) -> int:
+    """The ``check --proto-diff LEFT RIGHT`` entry point: decide
+    observational trace equivalence of two registered specs by product-
+    composing their reachable models (tau-closed determinization + BFS),
+    printing the verdict and, on refutation, the minimal witness trace.
+
+    Without ``pair``, diff every unordered pair of registered specs —
+    the registry's claimed containment chain.  With ``mutation``, seed
+    one of :data:`_DIFF_MUTATIONS` into the *right* spec; the expected
+    (and nonzero-returning) outcome is a refutation with a printed
+    witness, mirroring ``--mc-mutate``.  Returns nonzero when any pair
+    is found inequivalent."""
+    import itertools
+
+    from repro.analysis.protodiff import diff_specs, mutated_spec
+    from repro.coherence.specs import get_spec, spec_names
+
+    if mutation is not None:
+        left = get_spec(pair[0] if pair else "directory-msi")
+        right = mutated_spec(mutation)
+        result = diff_specs(left, right)
+        print("[protodiff] " + result.format().replace("\n", "\n  "))
+        if result.equivalent:
+            print(f"[protodiff] mutation {mutation!r} was NOT detected")
+            return 0
+        return 1
+
+    pairs = (
+        [tuple(pair)]
+        if pair
+        else list(itertools.combinations(spec_names(), 2))
+    )
+    status = 0
+    for left_name, right_name in pairs:
+        result = diff_specs(get_spec(left_name), get_spec(right_name))
+        print("[protodiff] " + result.format().replace("\n", "\n  "))
+        if not result.ok:
+            status = 1
+    return status
+
+
 def run_lat_bound(
     app: str,
     audit: bool = False,
@@ -493,6 +611,9 @@ def run_check(
     trace_mutation: Optional[str] = None,
     proto_mutation: Optional[str] = None,
     proto_fingerprint: Optional[str] = None,
+    proto_diff_pair: Optional[List[str]] = None,
+    diff_mutation: Optional[str] = None,
+    proto_matrix_fingerprints: Optional[str] = None,
     lat_audit: bool = False,
     lat_mutation: Optional[str] = None,
     lat_fingerprint: Optional[str] = None,
@@ -500,8 +621,9 @@ def run_check(
     """The ``repro check`` subcommand: op-stream lint, race detection,
     litmus consistency checks, a sanitized simulation, and the static
     passes (protocol model check, lock-order analysis, source lint,
-    transition-table protolint, axiomatic trace conformance, layout
-    lint).  ``--list-checks`` enumerates them; ``--all`` runs them all.
+    transition-table protolint, the per-spec protocol matrix, the
+    differential protocol-equivalence diff, axiomatic trace
+    conformance, layout lint).  ``--list-checks`` enumerates them; ``--all`` runs them all.
     Returns a nonzero exit status on lint errors, litmus violations, or
     invariant failures; data races are reported but do not fail the
     check (MP3D's move-phase races are benign and acknowledged by the
@@ -619,6 +741,16 @@ def run_check(
         ):
             fail("protolint")
 
+    if "protomatrix" in checks:
+        if run_proto_matrix(
+            fingerprint_dir=proto_matrix_fingerprints, mc_config=mc_config
+        ):
+            fail("protomatrix")
+
+    if "protodiff" in checks:
+        if run_proto_diff(pair=proto_diff_pair, mutation=diff_mutation):
+            fail("protodiff")
+
     if "latbound" in checks:
         if run_lat_bound(
             app,
@@ -699,6 +831,10 @@ def select_checks(args) -> List[str]:
         selected.append("srclint")
     if args.proto_lint or args.proto_mutate is not None:
         selected.append("protolint")
+    if args.proto_matrix:
+        selected.append("protomatrix")
+    if args.proto_diff is not None or args.diff_mutate is not None:
+        selected.append("protodiff")
     if args.lat_bound or args.lat_audit or args.lat_mutate is not None:
         selected.append("latbound")
     if args.trace_check or args.trace_mutate is not None:
@@ -979,6 +1115,43 @@ def main(argv: Optional[List[str]] = None) -> int:
              "check — CI's fast table-diff detector)",
     )
     parser.add_argument(
+        "--proto-matrix",
+        action="store_true",
+        help="model-check and proto-lint every registered protocol "
+             "spec (directory-msi, mesi, moesi) under the --mc-* "
+             "bounds, so a registry entry cannot drift without the "
+             "full static battery noticing",
+    )
+    parser.add_argument(
+        "--proto-matrix-fingerprints",
+        default=None,
+        metavar="DIR",
+        help="with --proto-matrix: cache one fingerprint file per spec "
+             "under DIR (<spec>.fp, written when absent, compared when "
+             "present; mismatch fails the check — CI's fast "
+             "spec-diff detector)",
+    )
+    parser.add_argument(
+        "--proto-diff",
+        nargs=2,
+        default=None,
+        metavar=("LEFT", "RIGHT"),
+        help="differential protocol equivalence: product-compose the "
+             "two named specs' reachable models (tau-closed "
+             "determinization + BFS) and prove observational "
+             "equivalence on load-value/ownership traces, or refute it "
+             "with a minimal witness; use '--checks protodiff' alone "
+             "to diff every registered pair",
+    )
+    parser.add_argument(
+        "--diff-mutate",
+        choices=list(_DIFF_MUTATIONS),
+        default=None,
+        help="run --proto-diff against a deliberately broken right "
+             "spec (demo: the mutation must be refuted with a printed "
+             "witness trace and a nonzero exit)",
+    )
+    parser.add_argument(
         "--lat-bound",
         action="store_true",
         help="derive closed-form per-transaction latency envelopes from "
@@ -1107,6 +1280,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = set(checks) - set(_CHECKS)
         if unknown:
             parser.error(f"unknown checks: {', '.join(sorted(unknown))}")
+        if args.proto_diff is not None:
+            from repro.coherence.specs import spec_names
+
+            bad = [n for n in args.proto_diff if n not in spec_names()]
+            if bad:
+                parser.error(
+                    f"unknown protocol spec(s): {', '.join(bad)} "
+                    f"(registered: {', '.join(spec_names())})"
+                )
         fault_level = args.faults if args.faults != "none" else "smoke"
         from repro.faults.plan import BackoffPolicy
 
@@ -1131,6 +1313,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_mutation=args.trace_mutate,
             proto_mutation=args.proto_mutate,
             proto_fingerprint=args.proto_fingerprint,
+            proto_diff_pair=args.proto_diff,
+            diff_mutation=args.diff_mutate,
+            proto_matrix_fingerprints=args.proto_matrix_fingerprints,
             lat_audit=args.lat_audit,
             lat_mutation=args.lat_mutate,
             lat_fingerprint=args.lat_fingerprint,

@@ -21,9 +21,14 @@ from repro.sim.engine import SimulationError
 
 
 class DirState(enum.IntEnum):
-    UNOWNED = 0   # memory at the home node has the only valid copy
-    SHARED = 1    # one or more caches hold clean copies
-    DIRTY = 2     # exactly one cache holds a modified copy
+    UNOWNED = 0       # memory at the home node has the only valid copy
+    SHARED = 1        # one or more caches hold clean copies
+    DIRTY = 2         # exactly one cache holds a modified copy
+    #: MOESI only: an OWNED cache is responsible for the (stale-in-memory)
+    #: line while other caches hold clean copies of the same dirty value.
+    #: The runtime directory never enters this state; it exists for the
+    #: abstract MOESI :class:`~repro.coherence.specs.ProtocolSpec`.
+    SHARED_DIRTY = 3
 
 
 class DirectoryEntry:

@@ -39,8 +39,8 @@ from typing import List, NamedTuple, Optional, Tuple
 from repro.caches import DirectMappedCache, LineState
 from repro.caches.cache import _MEMBERS
 from repro.coherence.directory import Directory, DirectoryEntry, DirState
+from repro.coherence.specs import get_spec, spec_names
 from repro.coherence.table import (
-    DIRECTORY_PROTOCOL_TABLE,
     Action,
     ProtocolTableError,
     ProtoEvent,
@@ -49,31 +49,6 @@ from repro.config import MachineConfig
 from repro.interconnect import Interconnect
 from repro.memlayout import SharedMemoryAllocator
 from repro.sim.engine import SimulationError
-
-#: Hit rules resolved once at import: by directory precision, a SHARED
-#: secondary copy pins the home entry to SHARED and a DIRTY copy pins it
-#: to DIRTY, so the handlers need not consult the directory on a hit.
-_READ_HIT_RULES = {
-    LineState.SHARED: DIRECTORY_PROTOCOL_TABLE.lookup(
-        LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT
-    ),
-    LineState.DIRTY: DIRECTORY_PROTOCOL_TABLE.lookup(
-        LineState.DIRTY, DirState.DIRTY, ProtoEvent.READ_HIT
-    ),
-}
-_WRITE_HIT_RULE = DIRECTORY_PROTOCOL_TABLE.lookup(
-    LineState.DIRTY, DirState.DIRTY, ProtoEvent.WRITE_HIT
-)
-
-#: Raw-int views of the hit rules for the packed fast paths (the cache
-#: state arrives as a plain byte there); semantics identical to probing
-#: ``_READ_HIT_RULES[state].action_set`` per access.
-_READ_HIT_RULE_BY_INT = {int(state): rule for state, rule in _READ_HIT_RULES.items()}
-_READ_HIT_FILLS = {
-    int(state): Action.FILL_FROM_CACHE in rule.action_set
-    for state, rule in _READ_HIT_RULES.items()
-}
-_WRITE_HIT_FILLS = Action.FILL_FROM_CACHE in _WRITE_HIT_RULE.action_set
 
 
 class AccessClass(enum.Enum):
@@ -215,27 +190,110 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         self.caches = caches
         self.directories = directories
         self.net = interconnect
+        #: The registered :class:`~repro.coherence.specs.ProtocolSpec`
+        #: named by ``config.protocol``; the handlers are generic over
+        #: it, so the spec — not this class — decides which states
+        #: exist and what each transition does.
+        spec = get_spec(config.protocol)
+        if not spec.runtime_supported:
+            raise SimulationError(
+                f"protocol {spec.name!r} is statically verified only "
+                f"(no runtime support yet); runtime-capable specs: "
+                + ", ".join(
+                    name for name in spec_names()
+                    if get_spec(name).runtime_supported
+                )
+            )
+        self.spec = spec
         #: The declarative state machine the handlers are driven off.
-        self.table = DIRECTORY_PROTOCOL_TABLE
+        self.table = spec.table
+        #: Hit rules resolved once per instance: by directory precision
+        #: a resident state pins the home entry (SHARED copies pin
+        #: SHARED; owner states pin DIRTY), so the handlers need not
+        #: consult the directory on a hit.  Raw-int views serve the
+        #: packed fast paths, where the cache state arrives as a plain
+        #: byte.  Read hits are state-preserving in every registered
+        #: spec (protolint's stutter pass), so only write hits carry a
+        #: next-state map (MESI's silent E -> M upgrade).
+        self._read_hit_rules = {
+            r.cache_state: r
+            for r in self.table.rules
+            if r.event is ProtoEvent.READ_HIT
+        }
+        self._read_hit_rule_by_int = {
+            int(s): r for s, r in self._read_hit_rules.items()
+        }
+        self._read_hit_fills = {
+            int(s): Action.FILL_FROM_CACHE in r.action_set
+            for s, r in self._read_hit_rules.items()
+        }
+        self._write_hit_rules = {
+            r.cache_state: r
+            for r in self.table.rules
+            if r.event is ProtoEvent.WRITE_HIT
+        }
+        self._write_hit_by_int = {
+            int(s): r for s, r in self._write_hit_rules.items()
+        }
+        self._write_hit_fills = {
+            int(s): Action.FILL_FROM_CACHE in r.action_set
+            for s, r in self._write_hit_rules.items()
+        }
+        self._write_hit_next_by_int = {
+            int(s): int(r.next_cache_state)
+            for s, r in self._write_hit_rules.items()
+        }
+        #: Gate for the processors' inline SC write probe: the M-state
+        #: write hit must exist, fill from cache, and preserve M for the
+        #: probe's fixed ``state == 2`` fast path to be faithful.
+        _m = int(LineState.DIRTY)
+        self._write_hit_inline_ok = bool(
+            self._write_hit_fills.get(_m)
+            and self._write_hit_next_by_int.get(_m) == _m
+        )
+        #: States a remote read demotes in place (the owner-capable
+        #: states) and what they demote to; local-write-complete states
+        #: for the prefetch/fault-exposure probes.
+        self._owner_line_states = spec.owner_states
+        self._owner_state_ints = frozenset(int(s) for s in spec.owner_states)
+        self._downgrade_state = spec.downgrade_state
+        self._downgrade_int = int(spec.downgrade_state)
+        self._write_hit_states = spec.write_hit_states()
+        #: Replacement event per resident state (MESI adds the
+        #: clean-exclusive notification, ``EVICT_EXCLUSIVE``).
+        self._eviction_events = {
+            r.cache_state: r.event
+            for r in self.table.rules
+            if r.event in (
+                ProtoEvent.EVICT_CLEAN,
+                ProtoEvent.EVICT_DIRTY,
+                ProtoEvent.EVICT_EXCLUSIVE,
+            )
+        }
         #: Precomputed unguarded dispatch over the table: read/write
         #: transitions resolve with one tuple-keyed dict probe; a miss
         #: falls back to ``table.lookup`` for the full error surface.
         self._dispatch = self.table.dispatch_index()
         #: Miss rules re-indexed by directory state (the only varying
-        #: key coordinate once the event is known): ``(rule, fetches)``
-        #: pairs, ``fetches`` pre-resolving the ``FETCH_FROM_OWNER``
-        #: membership test.  ``None`` marks a combination the dispatch
-        #: index does not cover — the handlers fall back to
-        #: ``table.lookup`` there for the full error surface.  Replaces
-        #: a 3-tuple construction plus three enum hashes per miss with
-        #: one list index.
+        #: key coordinate once the event is known): ``(rule, fetches,
+        #: sets_owner)`` triples pre-resolving the ``FETCH_FROM_OWNER``
+        #: and ``SET_OWNER`` membership tests (the latter distinguishes
+        #: MESI's exclusive read fill from a shared one).  ``None``
+        #: marks a combination the dispatch index does not cover — the
+        #: handlers fall back to ``table.lookup`` there for the full
+        #: error surface.  Replaces a 3-tuple construction plus three
+        #: enum hashes per miss with one list index.
         dispatch = self._dispatch
 
         def _rule_pair(key):
             rule = dispatch.get(key)
             if rule is None:
                 return None
-            return (rule, Action.FETCH_FROM_OWNER in rule.action_set)
+            return (
+                rule,
+                Action.FETCH_FROM_OWNER in rule.action_set,
+                Action.SET_OWNER in rule.action_set,
+            )
 
         _DIR_STATES = (DirState.UNOWNED, DirState.SHARED, DirState.DIRTY)
         self._read_miss_rules = [
@@ -325,12 +383,12 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
                 and caches.secondary.probe(line) == LineState.INVALID
             )
         if kind == "write":
-            return caches.secondary.probe(line) != LineState.DIRTY
+            return caches.secondary.probe(line) not in self._write_hit_states
         if kind == "prefetch":
             state = caches.secondary.probe(line)
-            if state == LineState.DIRTY:
+            if state in self._write_hit_states:
                 return False  # discarded, no traffic
-            if state == LineState.SHARED and not exclusive:
+            if state != LineState.INVALID and not exclusive:
                 return False  # discarded, no traffic
             return True
         if kind in ("read_uncached", "write_uncached"):
@@ -357,12 +415,13 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         self.caches[node].primary.invalidate(victim_line)
         home = self._home_of(victim_line)
         entry = self.directories[home].entry(victim_line)
-        if victim_state == LineState.DIRTY:
-            event = ProtoEvent.EVICT_DIRTY
-            others: Optional[bool] = None
+        event = self._eviction_events[victim_state]
+        if event is ProtoEvent.EVICT_CLEAN:
+            others: Optional[bool] = bool(entry.mask & ~(1 << node))
         else:
-            event = ProtoEvent.EVICT_CLEAN
-            others = bool(entry.mask & ~(1 << node))
+            # Dirty and clean-exclusive victims notify the home
+            # unconditionally; the rule key carries no sharer bit.
+            others = None
         rule = self.table.lookup(victim_state, entry.state, event, others)
         if Action.WRITEBACK_MEMORY in rule.action_set:
             # Write the dirty line back to home memory (fire-and-forget:
@@ -401,8 +460,8 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
             state = info[4][sindex] if info[3][sindex] == line else 0
             if state:
                 info[5].hits += 1
-                if not _READ_HIT_FILLS[state]:
-                    rule = _READ_HIT_RULE_BY_INT[state]
+                if not self._read_hit_fills[state]:
+                    rule = self._read_hit_rule_by_int[state]
                     raise ProtocolTableError(
                         f"read-hit rule does not fill from cache: "
                         f"{rule.describe()}"
@@ -436,7 +495,7 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
             return outcome
         state = caches.secondary.lookup(line)
         if state != LineState.INVALID:
-            rule = _READ_HIT_RULES[state]
+            rule = self._read_hit_rules[state]
             if Action.FILL_FROM_CACHE not in rule.action_set:
                 raise ProtocolTableError(
                     f"read-hit rule does not fill from cache: {rule.describe()}"
@@ -465,8 +524,12 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
             rule = self.table.lookup(
                 LineState.INVALID, entry.state, ProtoEvent.READ_MISS
             )
-            pair = (rule, Action.FETCH_FROM_OWNER in rule.action_set)
-        rule, fetches = pair
+            pair = (
+                rule,
+                Action.FETCH_FROM_OWNER in rule.action_set,
+                Action.SET_OWNER in rule.action_set,
+            )
+        rule, fetches, sets_owner = pair
 
         net = self.net
         fast = self._fast_info
@@ -487,16 +550,21 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
                 base = lat.read_fill_remote
                 delay = net.charge_fetch_owner_remote(node, home, owner, time)
                 access_class = AccessClass.REMOTE
-            # DOWNGRADE_OWNER: the dirty copy becomes SHARED in place.
+            # DOWNGRADE_OWNER: the owner's copy (M, or E under MESI)
+            # demotes to the spec's downgrade state in place.
             # SHARING_WRITEBACK refreshes home memory (bandwidth
-            # charged, latency hidden).
+            # charged, latency hidden; a no-op refresh when the owner
+            # held the line clean-exclusive).
             if fast is not None:
                 oinfo = fast[owner]
                 sidx = (line // self._line_bytes) % self._sec_sets
-                if oinfo[3][sidx] == line and oinfo[4][sidx] == 2:
-                    oinfo[4][sidx] = 1  # DIRTY -> SHARED in place
-            elif self.caches[owner].secondary.probe(line) == LineState.DIRTY:
-                self.caches[owner].secondary.set_state(line, LineState.SHARED)
+                if (
+                    oinfo[3][sidx] == line
+                    and oinfo[4][sidx] in self._owner_state_ints
+                ):
+                    oinfo[4][sidx] = self._downgrade_int
+            elif self.caches[owner].secondary.probe(line) in self._owner_line_states:
+                self.caches[owner].secondary.set_state(line, self._downgrade_state)
             if owner != home:
                 net.charge_hop(owner, home, time + delay, data=True)
             net.charge_memory(home, time + delay)
@@ -515,9 +583,15 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
                 base = lat.read_fill_home
                 delay = net.charge_fill_home(node, home, time)
                 access_class = AccessClass.HOME
-            # ADD_SHARER: the entry becomes (or stays) SHARED.
+            # ADD_SHARER: the entry becomes (or stays) SHARED — or,
+            # when the fill is exclusive (MESI's read miss to an
+            # UNOWNED line), SET_OWNER names the reader as owner.
             entry.state = rule.next_dir_state
-            entry.mask |= 1 << node
+            if sets_owner:
+                entry.owner = node
+                entry.mask = 0
+            else:
+                entry.mask |= 1 << node
 
         if fast is not None:
             # Packed installs — same transitions and counters as
@@ -575,12 +649,16 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
             stats.writes_total += 1
             if state:
                 stats.writes_line_present += 1
-            if state == 2:  # LineState.DIRTY: secondary-owned write hit
-                if not _WRITE_HIT_FILLS:
+            whit = self._write_hit_by_int.get(state)
+            if whit is not None:  # secondary-owned write hit (M, or E)
+                if not self._write_hit_fills[state]:
                     raise ProtocolTableError(
                         "write-hit rule does not fill from cache: "
-                        f"{_WRITE_HIT_RULE.describe()}"
+                        f"{whit.describe()}"
                     )
+                # MESI's silent upgrade: an E copy becomes M with no
+                # message (a no-op store for M itself).
+                info[4][sindex] = self._write_hit_next_by_int[state]
                 # Write-through primary: refresh the copy if present
                 # (tag match on an invalid way is not presence).
                 pindex = word % self._pri_sets
@@ -614,12 +692,16 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         if state != LineState.INVALID:
             self.stats.writes_line_present += 1
 
-        if state == LineState.DIRTY:
-            if Action.FILL_FROM_CACHE not in _WRITE_HIT_RULE.action_set:
+        whit = self._write_hit_rules.get(state)
+        if whit is not None:
+            if Action.FILL_FROM_CACHE not in whit.action_set:
                 raise ProtocolTableError(
                     "write-hit rule does not fill from cache: "
-                    f"{_WRITE_HIT_RULE.describe()}"
+                    f"{whit.describe()}"
                 )
+            if whit.next_cache_state != state:
+                # MESI's silent upgrade: E -> M with no message.
+                caches.secondary.set_state(line, whit.next_cache_state)
             # Write-through primary: refresh the primary copy if present.
             if caches.primary.probe(line) != LineState.INVALID:
                 caches.primary.insert(line, LineState.SHARED)
@@ -664,8 +746,12 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
                 else ProtoEvent.WRITE_UPGRADE
             )
             rule = self.table.lookup(had_shared, entry.state, event)
-            pair = (rule, Action.FETCH_FROM_OWNER in rule.action_set)
-        rule, fetches = pair
+            pair = (
+                rule,
+                Action.FETCH_FROM_OWNER in rule.action_set,
+                Action.SET_OWNER in rule.action_set,
+            )
+        rule, fetches, _sets_owner = pair
         ack_extra = 0
 
         net = self.net
@@ -798,7 +884,9 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         """
         line = self.line_of(addr)
         state = self.caches[node].secondary.probe(line)
-        if state == LineState.DIRTY or (state == LineState.SHARED and not exclusive):
+        if state in self._write_hit_states or (
+            state != LineState.INVALID and not exclusive
+        ):
             return None
         self.stats.prefetches_issued += 1
         if exclusive:
@@ -875,14 +963,15 @@ class CoherenceProtocol:  # srclint: ok(missing-slots) — sanitizer/fault layer
         (not a bare ``assert``, so the checks survive ``python -O``).
         """
         num_nodes = len(self.caches)
+        owner_states = self._owner_line_states
         dirty_holders = {}
         sharers_seen = {}
         for node in range(num_nodes):
             for line, state in self.caches[node].secondary.resident_lines():
-                if state == LineState.DIRTY:
+                if state in owner_states:
                     if line in dirty_holders:
                         raise SimulationError(
-                            f"two dirty copies of line {line:#x} "
+                            f"two exclusive/dirty copies of line {line:#x} "
                             f"(nodes {dirty_holders[line]} and {node})"
                         )
                     dirty_holders[line] = node

@@ -1,0 +1,57 @@
+"""The protocol-spec registry.
+
+Every registered :class:`~repro.coherence.specs.base.ProtocolSpec` is
+picked up by the protocol-parametric analyzers: ``--proto-matrix`` runs
+model checking and table lint over each one, ``--proto-diff`` product-
+composes any pair, and the runtime drivers resolve
+``MachineConfig.protocol`` here.  Adding a protocol means adding a
+module in this package and one line to ``_SPECS`` — the analyzers,
+the CLI matrix, and the CI fingerprint cache keys (which hash this
+whole package) follow automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.coherence.specs.base import ProtocolSpec, make_spec
+from repro.coherence.specs.directory_msi import DIRECTORY_MSI_SPEC
+from repro.coherence.specs.mesi import MESI_SPEC
+from repro.coherence.specs.moesi import MOESI_SPEC
+
+_SPECS = {
+    DIRECTORY_MSI_SPEC.name: DIRECTORY_MSI_SPEC,
+    MESI_SPEC.name: MESI_SPEC,
+    MOESI_SPEC.name: MOESI_SPEC,
+}
+
+
+def spec_names() -> Tuple[str, ...]:
+    """Registered protocol names, in registration order."""
+    return tuple(_SPECS)
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """The registered spec called ``name``.
+
+    Raises ``ValueError`` (listing the registry) on an unknown name so
+    CLI/typo failures are self-explanatory.
+    """
+    try:
+        return _SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SPECS))
+        raise ValueError(
+            f"unknown protocol {name!r}; registered specs: {known}"
+        ) from None
+
+
+__all__ = [
+    "ProtocolSpec",
+    "make_spec",
+    "get_spec",
+    "spec_names",
+    "DIRECTORY_MSI_SPEC",
+    "MESI_SPEC",
+    "MOESI_SPEC",
+]

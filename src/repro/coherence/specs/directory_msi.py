@@ -1,0 +1,38 @@
+"""The paper's invalidating directory MSI protocol, as a spec.
+
+This is the PR-6 table (:data:`~repro.coherence.table.
+DIRECTORY_PROTOCOL_TABLE`) wrapped without modification — the spec
+*aliases* the table object, so the runtime drivers, the committed
+fingerprint, and every golden digest are untouched by the registry's
+existence.  Three cache states: a line is INVALID, SHARED (clean, one
+of possibly several copies), or DIRTY (sole modified copy); writes to a
+SHARED line always cross the directory as WRITE_UPGRADE.
+"""
+
+from __future__ import annotations
+
+from repro.caches import LineState
+from repro.coherence.directory import DirState
+from repro.coherence.table import (
+    DIRECTORY_PROTOCOL_TABLE,
+    RULE_LATENCY_ANNOTATIONS,
+)
+from repro.coherence.specs.base import ProtocolSpec
+
+DIRECTORY_MSI_SPEC = ProtocolSpec(
+    name="directory-msi",
+    description=(
+        "invalidating directory MSI (the paper's base protocol): "
+        "writes to clean copies always message the home"
+    ),
+    table=DIRECTORY_PROTOCOL_TABLE,
+    latency_annotations=RULE_LATENCY_ANNOTATIONS,
+    owner_states=frozenset({LineState.DIRTY}),
+    exclusive_states=frozenset({LineState.DIRTY}),
+    dirty_states=frozenset({LineState.DIRTY}),
+    silent_upgrade_states=frozenset(),
+    downgrade_state=LineState.SHARED,
+    owner_dir_states=frozenset({DirState.DIRTY}),
+    sharer_dir_states=frozenset({DirState.SHARED}),
+    runtime_supported=True,
+)

@@ -1,0 +1,202 @@
+"""Directory MESI: MSI plus a clean-exclusive state.
+
+The single behavioral delta against ``directory-msi`` is the E state:
+a read miss to an UNOWNED line installs the copy EXCLUSIVE (the
+directory tracks the holder as owner, exactly as it tracks M), and a
+write to an E copy upgrades it to M *silently* — no message, no
+invalidations, because the directory already names the writer as the
+sole holder.  Everything else (shared fills, dirty fetches with a
+sharing write-back, write invalidation fan-out) is the MSI rule set
+verbatim.  ``repro.analysis.protodiff`` certifies the "MSI plus silent
+E upgrades" reading by proving the observable load-value behavior of
+the two specs identical.
+
+Replacing an E line notifies the home with a write-back message
+(``WRITEBACK_MEMORY``; the data is clean, so memory is refreshed with
+the value it already holds) so the directory never names a departed
+owner.  Dropping that notification is exactly the seeded
+``mesi-without-e-writeback`` protodiff mutation — the stale owner
+entry then forwards a later read to a cache that no longer has the
+line's current standing, which diverges from MSI on load values.
+"""
+
+from __future__ import annotations
+
+from repro.caches import LineState
+from repro.coherence.directory import DirState
+from repro.coherence.table import (
+    Action,
+    CLASSIC_CACHE_STATES,
+    CLASSIC_DIR_STATES,
+    CLASSIC_EVENTS,
+    ProtoEvent,
+    Rule,
+)
+from repro.coherence.specs.base import make_spec
+
+_MESI_RULES = (
+    Rule(
+        "read-hit-shared",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        "read-hit-exclusive",
+        LineState.EXCLUSIVE, DirState.DIRTY, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.EXCLUSIVE, DirState.DIRTY,
+    ),
+    Rule(
+        "read-hit-owned",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        # The E fill: sole copy, so the directory tracks the reader as
+        # owner and a later write needs no message at all.
+        "read-miss-unowned",
+        LineState.INVALID, DirState.UNOWNED, ProtoEvent.READ_MISS, None,
+        (Action.READ_MEMORY, Action.SET_OWNER),
+        LineState.EXCLUSIVE, DirState.DIRTY,
+    ),
+    Rule(
+        "read-miss-shared",
+        LineState.INVALID, DirState.SHARED, ProtoEvent.READ_MISS, None,
+        (Action.READ_MEMORY, Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        # Owner may hold the line E (clean) or M (dirty); the sharing
+        # write-back refreshes memory either way (a no-op when clean).
+        "read-miss-dirty-remote",
+        LineState.INVALID, DirState.DIRTY, ProtoEvent.READ_MISS, None,
+        (Action.FETCH_FROM_OWNER, Action.DOWNGRADE_OWNER,
+         Action.SHARING_WRITEBACK, Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        # The silent upgrade MESI exists for: E -> M with zero traffic.
+        "write-hit-exclusive",
+        LineState.EXCLUSIVE, DirState.DIRTY, ProtoEvent.WRITE_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-hit-owned",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.WRITE_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-unowned",
+        LineState.INVALID, DirState.UNOWNED, ProtoEvent.WRITE_MISS, None,
+        (Action.READ_MEMORY, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-shared",
+        LineState.INVALID, DirState.SHARED, ProtoEvent.WRITE_MISS, None,
+        (Action.READ_MEMORY, Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-dirty",
+        LineState.INVALID, DirState.DIRTY, ProtoEvent.WRITE_MISS, None,
+        (Action.FETCH_FROM_OWNER, Action.INVALIDATE_OWNER, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-upgrade-shared",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.WRITE_UPGRADE, None,
+        (Action.READ_MEMORY, Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "evict-clean-other-sharers",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN, True,
+        (Action.DROP_SHARER,),
+        LineState.INVALID, DirState.SHARED,
+    ),
+    Rule(
+        "evict-clean-last",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN, False,
+        (Action.DROP_SHARER,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+    Rule(
+        # Clean data, but the home must stop naming us owner; dropping
+        # this notification is the seeded protodiff mutation.
+        "evict-exclusive",
+        LineState.EXCLUSIVE, DirState.DIRTY, ProtoEvent.EVICT_EXCLUSIVE,
+        None,
+        (Action.WRITEBACK_MEMORY,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+    Rule(
+        "evict-dirty",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.EVICT_DIRTY, None,
+        (Action.WRITEBACK_MEMORY,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+)
+
+MESI_SPEC = make_spec(
+    name="mesi",
+    description=(
+        "directory MESI: MSI plus a clean-exclusive state with silent "
+        "E -> M write upgrades"
+    ),
+    rules=_MESI_RULES,
+    cache_states=CLASSIC_CACHE_STATES + (LineState.EXCLUSIVE,),
+    dir_states=CLASSIC_DIR_STATES,
+    events=CLASSIC_EVENTS + (ProtoEvent.EVICT_EXCLUSIVE,),
+    required_cache={
+        ProtoEvent.READ_MISS: (LineState.INVALID,),
+        ProtoEvent.WRITE_MISS: (LineState.INVALID,),
+        ProtoEvent.WRITE_HIT: (LineState.DIRTY, LineState.EXCLUSIVE),
+        ProtoEvent.WRITE_UPGRADE: (LineState.SHARED,),
+        ProtoEvent.EVICT_CLEAN: (LineState.SHARED,),
+        ProtoEvent.EVICT_DIRTY: (LineState.DIRTY,),
+        ProtoEvent.EVICT_EXCLUSIVE: (LineState.EXCLUSIVE,),
+    },
+    compatible_dir_states={
+        LineState.SHARED: (DirState.SHARED,),
+        LineState.EXCLUSIVE: (DirState.DIRTY,),
+        LineState.DIRTY: (DirState.DIRTY,),
+    },
+    latency_annotations={
+        "read-hit-shared": {"any": "read_fill_secondary"},
+        "read-hit-exclusive": {"any": "read_fill_secondary"},
+        "read-hit-owned": {"any": "read_fill_secondary"},
+        "read-miss-unowned": {"local": "read_fill_local",
+                              "home": "read_fill_home"},
+        "read-miss-shared": {"local": "read_fill_local",
+                             "home": "read_fill_home"},
+        "read-miss-dirty-remote": {"dirty-home": "read_fill_home",
+                                   "dirty-remote": "read_fill_remote"},
+        "write-hit-exclusive": {"any": "write_owned_secondary"},
+        "write-hit-owned": {"any": "write_owned_secondary"},
+        "write-miss-unowned": {"local": "write_owned_local",
+                               "home": "write_owned_home"},
+        "write-miss-shared": {"local": "write_owned_local",
+                              "home": "write_owned_home"},
+        "write-miss-dirty": {"dirty-home": "write_owned_home",
+                             "dirty-remote": "write_owned_remote"},
+        "write-upgrade-shared": {"local": "write_owned_local",
+                                 "home": "write_owned_home"},
+        "evict-clean-other-sharers": {"any": None},
+        "evict-clean-last": {"any": None},
+        "evict-exclusive": {"any": None},
+        "evict-dirty": {"any": None},
+    },
+    owner_states=frozenset({LineState.DIRTY, LineState.EXCLUSIVE}),
+    exclusive_states=frozenset({LineState.DIRTY, LineState.EXCLUSIVE}),
+    dirty_states=frozenset({LineState.DIRTY}),
+    silent_upgrade_states=frozenset({LineState.EXCLUSIVE}),
+    downgrade_state=LineState.SHARED,
+    owner_dir_states=frozenset({DirState.DIRTY}),
+    sharer_dir_states=frozenset({DirState.SHARED}),
+    runtime_supported=True,
+)

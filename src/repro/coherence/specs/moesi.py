@@ -1,0 +1,293 @@
+"""Directory MOESI: MESI plus dirty sharing through an OWNED state.
+
+The behavioral delta against ``mesi`` is what a remote read of a dirty
+line does: instead of demoting the owner to SHARED and refreshing home
+memory with a sharing write-back, the owner is demoted to OWNED and
+keeps sole responsibility for the (now stale-in-memory) value, while
+readers receive clean copies directly from it.  The directory tracks
+this with a fourth entry state, ``SHARED_DIRTY``: an owner *and* a
+sharer set at once.  Memory is only refreshed when the owner is
+finally replaced (or invalidated by a write).
+
+``repro.analysis.protodiff`` certifies the "MESI plus dirty sharing"
+reading: on the shared observation alphabet (which caches read/write
+which values), deferring the memory refresh is invisible.
+
+This spec is analyzer-only for now (``runtime_supported=False``): the
+imperative :mod:`repro.coherence.protocol` drivers do not install the
+OWNED state, so selecting ``protocol="moesi"`` in a
+:class:`~repro.config.MachineConfig` is rejected at machine build time
+while ``--proto-matrix`` / ``--proto-diff`` verify the spec statically.
+"""
+
+from __future__ import annotations
+
+from repro.caches import LineState
+from repro.coherence.directory import DirState
+from repro.coherence.table import (
+    Action,
+    CLASSIC_CACHE_STATES,
+    CLASSIC_DIR_STATES,
+    CLASSIC_EVENTS,
+    ProtoEvent,
+    Rule,
+)
+from repro.coherence.specs.base import make_spec
+
+_MOESI_RULES = (
+    Rule(
+        "read-hit-shared",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        # A clean copy picked up from the owner under dirty sharing.
+        "read-hit-shared-dirty",
+        LineState.SHARED, DirState.SHARED_DIRTY, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.SHARED, DirState.SHARED_DIRTY,
+    ),
+    Rule(
+        "read-hit-exclusive",
+        LineState.EXCLUSIVE, DirState.DIRTY, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.EXCLUSIVE, DirState.DIRTY,
+    ),
+    Rule(
+        "read-hit-owned",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "read-hit-owner-shared",
+        LineState.OWNED, DirState.SHARED_DIRTY, ProtoEvent.READ_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.OWNED, DirState.SHARED_DIRTY,
+    ),
+    Rule(
+        "read-miss-unowned",
+        LineState.INVALID, DirState.UNOWNED, ProtoEvent.READ_MISS, None,
+        (Action.READ_MEMORY, Action.SET_OWNER),
+        LineState.EXCLUSIVE, DirState.DIRTY,
+    ),
+    Rule(
+        "read-miss-shared",
+        LineState.INVALID, DirState.SHARED, ProtoEvent.READ_MISS, None,
+        (Action.READ_MEMORY, Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED,
+    ),
+    Rule(
+        # Dirty sharing: the owner supplies the data and stays
+        # responsible for it (E/M -> O); no sharing write-back, home
+        # memory is left stale until the owner is replaced.
+        "read-miss-dirty-remote",
+        LineState.INVALID, DirState.DIRTY, ProtoEvent.READ_MISS, None,
+        (Action.FETCH_FROM_OWNER, Action.DOWNGRADE_OWNER,
+         Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED_DIRTY,
+    ),
+    Rule(
+        # Later readers under dirty sharing: the OWNED copy forwards.
+        "read-miss-shared-dirty",
+        LineState.INVALID, DirState.SHARED_DIRTY, ProtoEvent.READ_MISS,
+        None,
+        (Action.FETCH_FROM_OWNER, Action.ADD_SHARER),
+        LineState.SHARED, DirState.SHARED_DIRTY,
+    ),
+    Rule(
+        "write-hit-exclusive",
+        LineState.EXCLUSIVE, DirState.DIRTY, ProtoEvent.WRITE_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-hit-owned",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.WRITE_HIT, None,
+        (Action.FILL_FROM_CACHE,),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-unowned",
+        LineState.INVALID, DirState.UNOWNED, ProtoEvent.WRITE_MISS, None,
+        (Action.READ_MEMORY, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-shared",
+        LineState.INVALID, DirState.SHARED, ProtoEvent.WRITE_MISS, None,
+        (Action.READ_MEMORY, Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-miss-dirty",
+        LineState.INVALID, DirState.DIRTY, ProtoEvent.WRITE_MISS, None,
+        (Action.FETCH_FROM_OWNER, Action.INVALIDATE_OWNER, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        # Dirty-shared line: fetch the current value from the owner,
+        # then invalidate owner and sharers alike.
+        "write-miss-shared-dirty",
+        LineState.INVALID, DirState.SHARED_DIRTY, ProtoEvent.WRITE_MISS,
+        None,
+        (Action.FETCH_FROM_OWNER, Action.INVALIDATE_OWNER,
+         Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "write-upgrade-shared",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.WRITE_UPGRADE, None,
+        (Action.READ_MEMORY, Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        # The upgrading sharer's copy is already the current (dirty)
+        # value under dirty sharing, so no memory read and no fetch —
+        # just clear out the old owner and every other sharer.
+        "write-upgrade-shared-dirty",
+        LineState.SHARED, DirState.SHARED_DIRTY, ProtoEvent.WRITE_UPGRADE,
+        None,
+        (Action.INVALIDATE_OWNER, Action.INVALIDATE_SHARERS,
+         Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        # The owner itself writes again: invalidate the sharers it had
+        # been supplying and collapse back to M.
+        "write-upgrade-owner",
+        LineState.OWNED, DirState.SHARED_DIRTY, ProtoEvent.WRITE_UPGRADE,
+        None,
+        (Action.INVALIDATE_SHARERS, Action.SET_OWNER),
+        LineState.DIRTY, DirState.DIRTY,
+    ),
+    Rule(
+        "evict-clean-other-sharers",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN, True,
+        (Action.DROP_SHARER,),
+        LineState.INVALID, DirState.SHARED,
+    ),
+    Rule(
+        "evict-clean-last",
+        LineState.SHARED, DirState.SHARED, ProtoEvent.EVICT_CLEAN, False,
+        (Action.DROP_SHARER,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+    Rule(
+        # The owner remains resident, so the entry stays SHARED_DIRTY
+        # even when the departing sharer was the last one.
+        "evict-clean-shared-dirty",
+        LineState.SHARED, DirState.SHARED_DIRTY, ProtoEvent.EVICT_CLEAN,
+        None,
+        (Action.DROP_SHARER,),
+        LineState.INVALID, DirState.SHARED_DIRTY,
+    ),
+    Rule(
+        "evict-exclusive",
+        LineState.EXCLUSIVE, DirState.DIRTY, ProtoEvent.EVICT_EXCLUSIVE,
+        None,
+        (Action.WRITEBACK_MEMORY,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+    Rule(
+        "evict-dirty",
+        LineState.DIRTY, DirState.DIRTY, ProtoEvent.EVICT_DIRTY, None,
+        (Action.WRITEBACK_MEMORY,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+    Rule(
+        # Replacing the owner finally refreshes memory; the surviving
+        # sharers' clean copies now match it, so the entry is SHARED.
+        "evict-owner-other-sharers",
+        LineState.OWNED, DirState.SHARED_DIRTY, ProtoEvent.EVICT_DIRTY,
+        True,
+        (Action.WRITEBACK_MEMORY,),
+        LineState.INVALID, DirState.SHARED,
+    ),
+    Rule(
+        "evict-owner-last",
+        LineState.OWNED, DirState.SHARED_DIRTY, ProtoEvent.EVICT_DIRTY,
+        False,
+        (Action.WRITEBACK_MEMORY,),
+        LineState.INVALID, DirState.UNOWNED,
+    ),
+)
+
+MOESI_SPEC = make_spec(
+    name="moesi",
+    description=(
+        "directory MOESI: MESI plus dirty sharing — remote reads of a "
+        "dirty line demote the owner to OWNED instead of refreshing "
+        "home memory"
+    ),
+    rules=_MOESI_RULES,
+    cache_states=CLASSIC_CACHE_STATES + (
+        LineState.EXCLUSIVE, LineState.OWNED,
+    ),
+    dir_states=CLASSIC_DIR_STATES + (DirState.SHARED_DIRTY,),
+    events=CLASSIC_EVENTS + (ProtoEvent.EVICT_EXCLUSIVE,),
+    required_cache={
+        ProtoEvent.READ_MISS: (LineState.INVALID,),
+        ProtoEvent.WRITE_MISS: (LineState.INVALID,),
+        ProtoEvent.WRITE_HIT: (LineState.DIRTY, LineState.EXCLUSIVE),
+        ProtoEvent.WRITE_UPGRADE: (LineState.SHARED, LineState.OWNED),
+        ProtoEvent.EVICT_CLEAN: (LineState.SHARED,),
+        ProtoEvent.EVICT_DIRTY: (LineState.DIRTY, LineState.OWNED),
+        ProtoEvent.EVICT_EXCLUSIVE: (LineState.EXCLUSIVE,),
+    },
+    compatible_dir_states={
+        LineState.SHARED: (DirState.SHARED, DirState.SHARED_DIRTY),
+        LineState.EXCLUSIVE: (DirState.DIRTY,),
+        LineState.DIRTY: (DirState.DIRTY,),
+        LineState.OWNED: (DirState.SHARED_DIRTY,),
+    },
+    latency_annotations={
+        "read-hit-shared": {"any": "read_fill_secondary"},
+        "read-hit-shared-dirty": {"any": "read_fill_secondary"},
+        "read-hit-exclusive": {"any": "read_fill_secondary"},
+        "read-hit-owned": {"any": "read_fill_secondary"},
+        "read-hit-owner-shared": {"any": "read_fill_secondary"},
+        "read-miss-unowned": {"local": "read_fill_local",
+                              "home": "read_fill_home"},
+        "read-miss-shared": {"local": "read_fill_local",
+                             "home": "read_fill_home"},
+        "read-miss-dirty-remote": {"dirty-home": "read_fill_home",
+                                   "dirty-remote": "read_fill_remote"},
+        "read-miss-shared-dirty": {"dirty-home": "read_fill_home",
+                                   "dirty-remote": "read_fill_remote"},
+        "write-hit-exclusive": {"any": "write_owned_secondary"},
+        "write-hit-owned": {"any": "write_owned_secondary"},
+        "write-miss-unowned": {"local": "write_owned_local",
+                               "home": "write_owned_home"},
+        "write-miss-shared": {"local": "write_owned_local",
+                              "home": "write_owned_home"},
+        "write-miss-dirty": {"dirty-home": "write_owned_home",
+                             "dirty-remote": "write_owned_remote"},
+        "write-miss-shared-dirty": {"dirty-home": "write_owned_home",
+                                    "dirty-remote": "write_owned_remote"},
+        "write-upgrade-shared": {"local": "write_owned_local",
+                                 "home": "write_owned_home"},
+        "write-upgrade-shared-dirty": {"local": "write_owned_local",
+                                       "home": "write_owned_home"},
+        "write-upgrade-owner": {"local": "write_owned_local",
+                                "home": "write_owned_home"},
+        "evict-clean-other-sharers": {"any": None},
+        "evict-clean-last": {"any": None},
+        "evict-clean-shared-dirty": {"any": None},
+        "evict-exclusive": {"any": None},
+        "evict-dirty": {"any": None},
+        "evict-owner-other-sharers": {"any": None},
+        "evict-owner-last": {"any": None},
+    },
+    owner_states=frozenset({
+        LineState.DIRTY, LineState.EXCLUSIVE, LineState.OWNED,
+    }),
+    exclusive_states=frozenset({LineState.DIRTY, LineState.EXCLUSIVE}),
+    dirty_states=frozenset({LineState.DIRTY, LineState.OWNED}),
+    silent_upgrade_states=frozenset({LineState.EXCLUSIVE}),
+    downgrade_state=LineState.OWNED,
+    owner_dir_states=frozenset({DirState.DIRTY, DirState.SHARED_DIRTY}),
+    sharer_dir_states=frozenset({DirState.SHARED, DirState.SHARED_DIRTY}),
+    runtime_supported=False,
+)

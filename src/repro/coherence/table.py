@@ -61,6 +61,7 @@ class ProtoEvent(enum.Enum):
     WRITE_UPGRADE = "write_upgrade"  # ownership request, clean copy held
     EVICT_CLEAN = "evict_clean"      # replacement of a SHARED line
     EVICT_DIRTY = "evict_dirty"      # replacement of a DIRTY line
+    EVICT_EXCLUSIVE = "evict_exclusive"  # replacement of a MESI E line
 
     # Members are singletons, so the identity hash agrees with equality;
     # it keeps the per-miss dispatch-key hashing at C speed instead of
@@ -94,6 +95,24 @@ class Action(enum.Enum):
 class ProtocolTableError(SimulationError):
     """A transition was requested that the table declares impossible
     (or does not cover at all) — a protocol bug, not a user error."""
+
+
+#: The domain of the paper's three-state directory protocol.  A
+#: :class:`TransitionTable` defaults to this trio; richer protocols
+#: (MESI's E, MOESI's O) pass their own state/event tuples so the
+#: completeness obligation scales with the spec instead of silently
+#: widening every existing table when an enum gains a member.
+CLASSIC_CACHE_STATES: Tuple[LineState, ...] = (
+    LineState.INVALID, LineState.SHARED, LineState.DIRTY,
+)
+CLASSIC_DIR_STATES: Tuple[DirState, ...] = (
+    DirState.UNOWNED, DirState.SHARED, DirState.DIRTY,
+)
+CLASSIC_EVENTS: Tuple[ProtoEvent, ...] = (
+    ProtoEvent.READ_HIT, ProtoEvent.READ_MISS, ProtoEvent.WRITE_HIT,
+    ProtoEvent.WRITE_MISS, ProtoEvent.WRITE_UPGRADE,
+    ProtoEvent.EVICT_CLEAN, ProtoEvent.EVICT_DIRTY,
+)
 
 
 @dataclass(frozen=True)
@@ -188,15 +207,24 @@ class TransitionTable:
     first one wins at lookup time, mirroring a priority-ordered match.
     """
 
-    __slots__ = ("name", "rules", "impossible", "_index", "_impossible_keys")
+    __slots__ = (
+        "name", "rules", "impossible", "_index", "_impossible_keys",
+        "cache_states", "dir_states", "events",
+    )
 
     def __init__(
         self,
         rules: Tuple[Rule, ...],
         impossible: Tuple[Impossible, ...],
         name: str = "directory-invalidate",
+        cache_states: Tuple[LineState, ...] = CLASSIC_CACHE_STATES,
+        dir_states: Tuple[DirState, ...] = CLASSIC_DIR_STATES,
+        events: Tuple[ProtoEvent, ...] = CLASSIC_EVENTS,
     ) -> None:
         self.name = name
+        self.cache_states = tuple(cache_states)
+        self.dir_states = tuple(dir_states)
+        self.events = tuple(events)
         self.rules = tuple(rules)
         self.impossible = tuple(impossible)
         self._impossible_keys = {imp.key: imp for imp in self.impossible}
@@ -246,13 +274,13 @@ class TransitionTable:
 
     # -- introspection (protolint's raw material) --------------------------
 
-    @staticmethod
-    def domain() -> Iterator[Tuple[LineState, DirState, ProtoEvent]]:
+    def domain(self) -> Iterator[Tuple[LineState, DirState, ProtoEvent]]:
         """Every ``(cache, dir, event)`` combination the table must
-        either handle or declare impossible."""
-        for cache_state in LineState:
-            for dir_state in DirState:
-                for event in ProtoEvent:
+        either handle or declare impossible — the cross product of this
+        table's *own* state and event alphabets."""
+        for cache_state in self.cache_states:
+            for dir_state in self.dir_states:
+                for event in self.events:
                     yield (cache_state, dir_state, event)
 
     def rules_for(
@@ -317,31 +345,57 @@ def impossibility_reason(
     requester's cache state, and directory *precision* ties the
     requester's cache state to the home entry's state.
     """
-    required_cache = {
-        ProtoEvent.READ_MISS: LineState.INVALID,
-        ProtoEvent.WRITE_MISS: LineState.INVALID,
-        ProtoEvent.WRITE_HIT: LineState.DIRTY,
-        ProtoEvent.WRITE_UPGRADE: LineState.SHARED,
-        ProtoEvent.EVICT_CLEAN: LineState.SHARED,
-        ProtoEvent.EVICT_DIRTY: LineState.DIRTY,
-    }
+    return spec_impossibility_reason(
+        cache_state, dir_state, event,
+        required_cache={
+            ProtoEvent.READ_MISS: (LineState.INVALID,),
+            ProtoEvent.WRITE_MISS: (LineState.INVALID,),
+            ProtoEvent.WRITE_HIT: (LineState.DIRTY,),
+            ProtoEvent.WRITE_UPGRADE: (LineState.SHARED,),
+            ProtoEvent.EVICT_CLEAN: (LineState.SHARED,),
+            ProtoEvent.EVICT_DIRTY: (LineState.DIRTY,),
+        },
+        compatible_dir_states={
+            LineState.SHARED: (DirState.SHARED,),
+            LineState.DIRTY: (DirState.DIRTY,),
+        },
+    )
+
+
+def spec_impossibility_reason(
+    cache_state: LineState,
+    dir_state: DirState,
+    event: ProtoEvent,
+    required_cache: Dict[ProtoEvent, Tuple[LineState, ...]],
+    compatible_dir_states: Dict[LineState, Tuple[DirState, ...]],
+) -> Optional[str]:
+    """Protocol-parametric form of :func:`impossibility_reason`.
+
+    ``required_cache`` maps each non-read-hit event to the requester
+    cache states it is defined for; ``compatible_dir_states`` encodes
+    directory precision — for a resident requester state, the home
+    entry states it can coexist with.  The spec constructors feed each
+    protocol's own precision discipline through this one function so
+    every registered spec's impossibility reasons are derived, not
+    hand-maintained.
+    """
     if event == ProtoEvent.READ_HIT:
         if cache_state == LineState.INVALID:
             return "a read hit requires a resident secondary copy"
-    elif cache_state != required_cache[event]:
+    else:
+        allowed = required_cache.get(event, ())
+        if cache_state not in allowed:
+            names = " or ".join(s.name for s in allowed) or "<none>"
+            return (
+                f"{event.value} is defined for a requester whose secondary "
+                f"copy is {names}, not {cache_state.name}"
+            )
+    compatible = compatible_dir_states.get(cache_state)
+    if compatible is not None and dir_state not in compatible:
+        names = "/".join(s.name for s in compatible)
         return (
-            f"{event.value} is defined for a requester whose secondary "
-            f"copy is {required_cache[event].name}, not {cache_state.name}"
-        )
-    if cache_state == LineState.SHARED and dir_state != DirState.SHARED:
-        return (
-            "directory precision: a clean cached copy implies the home "
-            "entry is SHARED and lists this cache"
-        )
-    if cache_state == LineState.DIRTY and dir_state != DirState.DIRTY:
-        return (
-            "directory precision: a modified copy implies the home entry "
-            "is DIRTY at exactly this owner"
+            f"directory precision: a {cache_state.name} copy implies the "
+            f"home entry is {names}"
         )
     return None
 
@@ -437,16 +491,21 @@ def build_directory_table() -> TransitionTable:
     impossible (with its precision/hit-definition reason)."""
     covered = {rule.key for rule in _DIRECTORY_RULES}
     impossible: List[Impossible] = []
-    for cache_state, dir_state, event in TransitionTable.domain():
-        if (cache_state, dir_state, event) in covered:
-            continue
-        reason = impossibility_reason(cache_state, dir_state, event)
-        if reason is None:
-            # A legal combination without a rule: leave it *uncovered*
-            # rather than inventing an excuse — protolint's completeness
-            # pass exists to catch exactly this.
-            continue
-        impossible.append(Impossible(cache_state, dir_state, event, reason))
+    for cache_state in CLASSIC_CACHE_STATES:
+        for dir_state in CLASSIC_DIR_STATES:
+            for event in CLASSIC_EVENTS:
+                if (cache_state, dir_state, event) in covered:
+                    continue
+                reason = impossibility_reason(cache_state, dir_state, event)
+                if reason is None:
+                    # A legal combination without a rule: leave it
+                    # *uncovered* rather than inventing an excuse —
+                    # protolint's completeness pass exists to catch
+                    # exactly this.
+                    continue
+                impossible.append(
+                    Impossible(cache_state, dir_state, event, reason)
+                )
     return TransitionTable(_DIRECTORY_RULES, tuple(impossible))
 
 

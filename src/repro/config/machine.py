@@ -207,6 +207,15 @@ class MachineConfig:
     consistency: Consistency = Consistency.SC
     caching_shared_data: bool = True
 
+    #: Coherence protocol, by registry name
+    #: (:func:`repro.coherence.specs.get_spec`): ``"directory-msi"``
+    #: (the paper's protocol, the default), ``"mesi"`` (clean-exclusive
+    #: state with silent E -> M upgrades), or ``"moesi"`` (statically
+    #: verified only; the runtime rejects it until dirty sharing is
+    #: implemented).  Non-default protocols change which transitions
+    #: fire, so the field participates in config fingerprinting.
+    protocol: str = "directory-msi"
+
     #: Enable the coherence invariant sanitizer (``repro.analysis``):
     #: every protocol transaction is followed by SWMR / directory
     #: precision / buffer-bound checks, and violations raise
@@ -312,6 +321,13 @@ class MachineConfig:
             raise ValueError(
                 f"engine_backend must be 'heap' or 'wheel', "
                 f"got {self.engine_backend!r}"
+            )
+        from repro.coherence.specs import spec_names
+
+        if self.protocol not in spec_names():
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; registered specs: "
+                f"{', '.join(spec_names())}"
             )
         if self.fault_plan is not None:
             from repro.faults.plan import FaultPlan

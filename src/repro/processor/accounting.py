@@ -64,6 +64,7 @@ BUCKET_FOR_PROTO_EVENT = {
     "write_miss": Bucket.WRITE_STALL,
     "write_upgrade": Bucket.WRITE_STALL,
     "evict_clean": None,
+    "evict_exclusive": None,
     "evict_dirty": None,
 }
 

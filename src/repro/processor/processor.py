@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.coherence.protocol import _WRITE_HIT_FILLS, AccessClass
+from repro.coherence.protocol import AccessClass
 from repro.config import MachineConfig
 from repro.consistency import ConsistencyPolicy
 from repro.processor.accounting import (
@@ -236,15 +236,20 @@ class Processor:
                 memiface._pri_sets,
                 memiface._lat_rph,
             )
-            if memiface.policy.write_stalls_processor and _WRITE_HIT_FILLS:
+            if (
+                memiface.policy.write_stalls_processor
+                and memiface.protocol._write_hit_inline_ok
+            ):
                 # SC write probe: a DIRTY secondary line is an owned
                 # write hit that never leaves the node, so it can be
                 # served inline exactly like ``_fused_write_hit``.
                 # Only built under SC (RC writes go through the write
                 # buffer's occupancy bookkeeping unconditionally) and
-                # only when the write-hit rule fills from cache — a
-                # table that says otherwise must keep raising through
-                # the classic path.
+                # only when the active spec's M write hit fills from
+                # cache and stays M (the probe's fixed ``state == 2``
+                # test serves exactly that rule; MESI's E hit falls
+                # through to the memiface path) — a table that says
+                # otherwise must keep raising through the classic path.
                 wprobe = (
                     finfo[3],
                     finfo[4],

@@ -24,12 +24,6 @@ from typing import Deque, Dict, NamedTuple, Optional
 
 from repro.caches import MSHRTable, OutstandingMiss
 from repro.coherence import AccessClass, CoherenceProtocol
-from repro.coherence.protocol import (
-    _READ_HIT_FILLS,
-    _READ_HIT_RULE_BY_INT,
-    _WRITE_HIT_FILLS,
-    _WRITE_HIT_RULE,
-)
 from repro.coherence.table import ProtocolTableError
 from repro.config import MachineConfig
 from repro.consistency import ConsistencyPolicy
@@ -155,11 +149,22 @@ class NodeMemoryInterface:
             self._lat_rph = protocol._lat_read_primary_hit
             self._lat_rfs = protocol._lat_read_fill_secondary
             self._lat_wos = protocol._lat_write_owned_secondary
+            # Spec-derived hit-rule views (see CoherenceProtocol): the
+            # fused probes must serve exactly the states the active
+            # protocol calls hits (MESI adds E) with the rule's declared
+            # next state.
+            self._rhit_fills = protocol._read_hit_fills
+            self._rhit_rules = protocol._read_hit_rule_by_int
+            self._whit_rules = protocol._write_hit_by_int
+            self._whit_fills = protocol._write_hit_fills
+            self._whit_next = protocol._write_hit_next_by_int
         else:
             self._finfo = None
             self._pri_sets = self._sec_sets = 0
             self._stats = self._reads = self._writes = None
             self._lat_rph = self._lat_rfs = self._lat_wos = 0
+            self._rhit_fills = self._rhit_rules = None
+            self._whit_rules = self._whit_fills = self._whit_next = None
 
         # Counters
         self.write_buffer_full_stall_cycles = 0
@@ -291,8 +296,8 @@ class NodeMemoryInterface:
             state = info[4][sindex] if info[3][sindex] == line else 0
             if state:
                 info[5].hits += 1
-                if not _READ_HIT_FILLS[state]:
-                    rule = _READ_HIT_RULE_BY_INT[state]
+                if not self._rhit_fills[state]:
+                    rule = self._rhit_rules[state]
                     raise ProtocolTableError(
                         f"read-hit rule does not fill from cache: "
                         f"{rule.describe()}"
@@ -354,7 +359,8 @@ class NodeMemoryInterface:
 
     def _fused_write_hit(self, addr: int, now: int) -> Optional[int]:
         """Inline secondary-owned write hit: the retire time, or None
-        when the line is not DIRTY here (or the fuse gate is closed).
+        when the line is not in a local write-hit state here — M, or E
+        under MESI — (or the fuse gate is closed).
 
         Bit-identical to protocol.write's owned-hit fast path — same
         counter bumps, same primary refresh, same table-sanity raise;
@@ -374,13 +380,18 @@ class NodeMemoryInterface:
         info = self._finfo[self.node]
         word = line // self._line_bytes
         sindex = word % self._sec_sets
-        if info[3][sindex] != line or info[4][sindex] != 2:
-            return None  # not DIRTY in the secondary: classic path
-        if not _WRITE_HIT_FILLS:
+        state = info[4][sindex] if info[3][sindex] == line else 0
+        rule = self._whit_rules.get(state)
+        if rule is None:
+            return None  # not a local write-hit state: classic path
+        if not self._whit_fills[state]:
             raise ProtocolTableError(
                 "write-hit rule does not fill from cache: "
-                f"{_WRITE_HIT_RULE.describe()}"
+                f"{rule.describe()}"
             )
+        # MESI's silent upgrade: an E copy becomes M with no message
+        # (a no-op store for M itself).
+        info[4][sindex] = self._whit_next[state]
         info[5].hits += 1
         stats = self._stats
         stats.writes_total += 1

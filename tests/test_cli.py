@@ -241,6 +241,99 @@ def test_proto_fingerprint_mismatch_fails(tmp_path, capsys):
     assert "MISMATCH" in out
 
 
+# -- protocol matrix and differential equivalence -----------------------------
+
+
+def test_proto_matrix_verifies_every_registered_spec(capsys):
+    from repro.coherence.specs import spec_names
+
+    assert main(["check", "--proto-matrix"]) == 0
+    out = capsys.readouterr().out
+    for name in spec_names():
+        assert f"[protomatrix] {name}:" in out
+    assert "check: ok" in out
+
+
+def test_proto_matrix_fingerprints_roundtrip(tmp_path, capsys):
+    from repro.coherence.specs import spec_names
+
+    fp_dir = str(tmp_path / "matrix")
+    assert main(
+        ["check", "--proto-matrix", "--proto-matrix-fingerprints", fp_dir]
+    ) == 0
+    out = capsys.readouterr().out
+    assert out.count("fingerprint cached") == len(spec_names())
+    assert main(
+        ["check", "--proto-matrix", "--proto-matrix-fingerprints", fp_dir]
+    ) == 0
+    assert capsys.readouterr().out.count("fingerprint matches") == len(
+        spec_names()
+    )
+
+
+def test_proto_matrix_fingerprint_mismatch_fails(tmp_path, capsys):
+    fp_dir = tmp_path / "matrix"
+    fp_dir.mkdir()
+    (fp_dir / "mesi.fp").write_text("0" * 16 + "\n")
+    status = main(
+        ["check", "--proto-matrix", "--proto-matrix-fingerprints",
+         str(fp_dir)]
+    )
+    assert status == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_proto_diff_pair_proves_equivalence(capsys):
+    assert main(["check", "--proto-diff", "directory-msi", "mesi"]) == 0
+    out = capsys.readouterr().out
+    assert "observationally equivalent" in out
+    assert "check: ok" in out
+
+
+def test_proto_diff_alone_covers_every_registered_pair(capsys):
+    assert main(["check", "--checks", "protodiff"]) == 0
+    out = capsys.readouterr().out
+    assert "directory-msi ~ mesi" in out
+    assert "directory-msi ~ moesi" in out
+    assert "mesi ~ moesi" in out
+
+
+def test_proto_diff_unknown_spec_rejected():
+    with pytest.raises(SystemExit):
+        main(["check", "--proto-diff", "directory-msi", "mosi"])
+
+
+def test_diff_mutate_is_refuted_with_witness(capsys):
+    status = main(
+        ["check", "--proto-diff", "directory-msi", "mesi",
+         "--diff-mutate", "mesi-without-e-writeback"]
+    )
+    out = capsys.readouterr().out
+    assert status == 1
+    assert "NOT equivalent" in out
+    assert "divergence after" in out
+    assert "impossible in directory-msi" in out
+
+
+def test_diff_mutate_choices_match_protodiff():
+    from repro.analysis.protodiff import DIFF_MUTATIONS
+    from repro.cli import _DIFF_MUTATIONS
+
+    assert _DIFF_MUTATIONS == DIFF_MUTATIONS
+
+
+def test_select_checks_proto_matrix_and_diff_flags():
+    from repro.cli import select_checks
+
+    assert select_checks(_check_args(proto_matrix=True)) == ["protomatrix"]
+    assert select_checks(
+        _check_args(proto_diff=["directory-msi", "mesi"])
+    ) == ["protodiff"]
+    assert select_checks(
+        _check_args(diff_mutate="mesi-without-e-writeback")
+    ) == ["protodiff"]
+
+
 # -- check selection: --list-checks, --all, defaults --------------------------
 
 
@@ -249,7 +342,8 @@ def _check_args(**overrides):
 
     defaults = dict(
         faults="none", model_check=False, lock_order=False, lint_src=False,
-        proto_lint=False, proto_mutate=None, trace_check=False,
+        proto_lint=False, proto_mutate=None, proto_matrix=False,
+        proto_diff=None, diff_mutate=None, trace_check=False,
         trace_mutate=None, layout_lint=False, chaos=False, all_checks=False,
         checks=None, lat_bound=False, lat_audit=False, lat_mutate=None,
     )

@@ -30,7 +30,7 @@ from repro.coherence.table import (
 class TestTransitionTable:
     def test_every_domain_key_ruled_or_impossible(self):
         table = DIRECTORY_PROTOCOL_TABLE
-        for key in TransitionTable.domain():
+        for key in table.domain():
             assert bool(table.rules_for(key)) != (
                 table.declared_impossible(key) is not None
             ), key

@@ -53,6 +53,7 @@ FIELD_ALTERNATIVES = {
     "context_switch_cycles": [0, 8, 16],
     "consistency": [Consistency.PC, Consistency.WC, Consistency.RC],
     "caching_shared_data": [False],
+    "protocol": ["mesi", "moesi"],
     "sanitize": [True],
     "trace_memory_events": [True],
     "seed": [1, 7, 123456789],

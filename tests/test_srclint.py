@@ -252,6 +252,62 @@ class TestDeadAcks:
         assert [i.rule for i in failures(issues, strict=True)] == ["wall-clock"]
 
 
+class TestSpecPurity:
+    SPEC = "coherence/specs/example.py"
+
+    def test_runtime_import_flagged(self):
+        assert _rules("""
+            from repro.sim.engine import SimulationError
+        """, self.SPEC) == ["spec-purity"]
+
+    def test_system_and_processor_imports_flagged(self):
+        assert _rules("""
+            import repro.system
+            from repro.processor.processor import Processor
+        """, self.SPEC) == ["spec-purity", "spec-purity"]
+
+    def test_module_scope_side_effect_flagged(self):
+        assert _rules("""
+            import os
+            HOME = os.getenv("HOME")
+        """, self.SPEC) == ["spec-purity"]
+
+    def test_spec_constructors_and_containers_ok(self):
+        assert _rules("""
+            from repro.coherence.table import Rule, TransitionTable
+            from repro.coherence.specs.base import make_spec
+            OWNERS = frozenset({1, 2})
+            SPEC = make_spec(name="x", rules=tuple())
+        """, self.SPEC) == []
+
+    def test_calls_inside_functions_are_not_module_scope(self):
+        assert _rules("""
+            def helper():
+                return open("/dev/null")
+        """, self.SPEC) == []
+
+    def test_escape_hatch_acknowledges_a_finding(self):
+        assert _rules("""
+            from repro.system import Machine  # srclint: ok(spec-purity)
+        """, self.SPEC) == []
+
+    def test_rule_is_scoped_to_the_spec_package(self):
+        assert _rules("""
+            from repro.system import Machine
+            x = print("hello")
+        """, "coherence/protocol.py") == []
+
+    def test_real_spec_registry_is_pure(self):
+        root = default_root() / "coherence" / "specs"
+        issues = [
+            issue
+            for issue in lint_tree()
+            if issue.path.startswith("coherence/specs/")
+        ]
+        assert root.is_dir()
+        assert issues == [], format_issues(issues)
+
+
 class TestTree:
     def test_repro_source_is_clean(self):
         """The acceptance criterion: the shipped simulator source passes
